@@ -1,0 +1,119 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not paper figures — these probe the knobs behind the reproduction:
+
+* batch-size sweep (the curve `best_batch_size` optimizes over),
+* ramp-up schedule (section V-A's prologue remedy),
+* domain placement (cyclic/folded vs naive spread, DES-measured),
+* calibration robustness (the paper's qualitative conclusions must not
+  hinge on the exact values of the two calibrated compute knobs).
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import (
+    FDJob,
+    FLAT_OPTIMIZED,
+    FLAT_ORIGINAL,
+    HYBRID_MULTIPLE,
+    PerformanceModel,
+    simulate_fd,
+)
+from repro.grid import GridDescriptor
+from repro.machine.spec import BGP_SPEC
+
+JOB7 = FDJob(GridDescriptor((192, 192, 192)), 2816)
+
+
+def test_batch_size_sweep(benchmark, show):
+    """Time vs batch size at 16k cores: latency-bound small batches and a
+    prologue-bound large-batch tail bracket an interior optimum."""
+    pm = PerformanceModel()
+    sizes = [1, 2, 4, 8, 16, 32, 64, 128, 256, 704]
+
+    def sweep():
+        return {
+            b: pm.evaluate(JOB7, HYBRID_MULTIPLE, 16384, batch_size=b).total
+            for b in sizes
+        }
+
+    times = benchmark(sweep)
+    show(
+        format_table(
+            ["batch size", "time s"],
+            [[b, round(t, 4)] for b, t in times.items()],
+            title="batch-size sweep, hybrid multiple @16k cores",
+        )
+    )
+    best = min(times, key=times.get)
+    assert times[1] > times[best]  # batching beats none
+    assert times[704] >= times[best]  # one giant batch loses the pipeline
+    assert 2 <= best <= 256
+    picked = pm.best_batch_size(JOB7, HYBRID_MULTIPLE, 16384)
+    assert picked.total == pytest.approx(min(times.values()), rel=1e-6)
+
+
+def test_ramp_up_prologue(benchmark, show):
+    """Section V-A: halving the initial batch shortens the non-hideable
+    prologue whenever rounds are comm-bound."""
+    pm = PerformanceModel()
+    job = FDJob(GridDescriptor((144, 144, 144)), 256)
+
+    def measure():
+        plain = pm.evaluate(job, FLAT_OPTIMIZED, 4096, batch_size=128)
+        ramped = pm.evaluate(job, FLAT_OPTIMIZED, 4096, batch_size=128, ramp_up=True)
+        return plain.total, ramped.total
+
+    plain, ramped = benchmark(measure)
+    show(f"batch 128 plain {plain * 1e3:.3f} ms vs ramp-up {ramped * 1e3:.3f} ms")
+    assert ramped <= plain
+
+
+def test_placement_cyclic_vs_spread(benchmark, show):
+    """DES ablation: the folded (cyclic) placement never loses to the
+    naive spread placement — multi-hop neighbours cost latency and share
+    intermediate links."""
+    job = FDJob(GridDescriptor((48, 48, 48)), 16)
+
+    def measure():
+        cyc = simulate_fd(job, FLAT_OPTIMIZED, 32, 4, placement="cyclic")
+        spr = simulate_fd(job, FLAT_OPTIMIZED, 32, 4, placement="spread")
+        return cyc.total, spr.total
+
+    cyc, spr = benchmark(measure)
+    show(f"cyclic {cyc * 1e3:.3f} ms vs spread {spr * 1e3:.3f} ms "
+         f"({(spr / cyc - 1):+.1%})")
+    assert spr >= cyc
+
+
+def test_calibration_robustness(benchmark, show):
+    """The qualitative conclusions (hybrid wins; original trails; order)
+    hold across a band of the two calibrated compute knobs."""
+
+    def verdicts():
+        out = []
+        for t_point in (90e-9, 110e-9, 130e-9):
+            for exponent in (0.2, 0.3, 0.4):
+                spec = BGP_SPEC.with_(
+                    stencil_point_time=t_point, halo_compute_exponent=exponent
+                )
+                pm = PerformanceModel(spec)
+                hm = pm.best_batch_size(JOB7, HYBRID_MULTIPLE, 16384).total
+                opt = pm.best_batch_size(JOB7, FLAT_OPTIMIZED, 16384).total
+                orig = pm.evaluate(JOB7, FLAT_ORIGINAL, 16384).total
+                out.append((t_point, exponent, orig / hm, opt / hm))
+        return out
+
+    rows = benchmark(verdicts)
+    show(
+        format_table(
+            ["t_point ns", "exponent", "orig/hybrid", "opt/hybrid"],
+            [[round(t * 1e9), e, round(a, 2), round(b, 2)] for t, e, a, b in rows],
+            title="calibration sensitivity @16k cores",
+        )
+    )
+    for _, _, orig_ratio, opt_ratio in rows:
+        assert orig_ratio > 1.3  # hybrid clearly beats original everywhere
+        assert opt_ratio > 1.0  # ... and flat optimized
+        assert orig_ratio > opt_ratio  # original always trails optimized

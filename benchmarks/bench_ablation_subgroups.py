@@ -1,0 +1,48 @@
+"""Section VII-A ablation — static sub-groups experiment.
+
+The paper modifies Flat optimized to statically divide the grids into
+four sub-groups per node (the hybrid's structure, with processes instead
+of threads) and finds its performance "identical with the Hybrid
+multiple", concluding the decomposition level is the sole cause of the
+flat-vs-hybrid difference.
+"""
+
+import pytest
+
+from repro.analysis import ablation_subgroups
+from repro.core import FLAT_OPTIMIZED, FDJob, PerformanceModel
+from repro.grid import GridDescriptor
+
+
+def test_subgroups_identical_to_hybrid(benchmark, show):
+    subgroup, hybrid = benchmark(ablation_subgroups)
+    show(
+        f"flat + static sub-groups: {subgroup.total:.4f} s, "
+        f"hybrid multiple: {hybrid.total:.4f} s "
+        f"(difference {abs(subgroup.total - hybrid.total) / hybrid.total:.1%}; paper: identical)"
+    )
+    assert subgroup.total == pytest.approx(hybrid.total, rel=0.05)
+    assert subgroup.comm_bytes_per_node == pytest.approx(hybrid.comm_bytes_per_node)
+
+
+def test_decomposition_level_is_sole_cause(benchmark, show):
+    """Corollary: plain flat optimized differs from the sub-group variant
+    only through the 4x-finer decomposition (more surface, more but
+    smaller messages)."""
+
+    def measure():
+        pm = PerformanceModel()
+        job = FDJob(GridDescriptor((192, 192, 192)), 2816)
+        subgroup, _ = ablation_subgroups(n_cores=16384)
+        flat = pm.best_batch_size(job, FLAT_OPTIMIZED, 16384)
+        return flat, subgroup
+
+    flat, subgroup = benchmark(measure)
+    show(
+        f"flat optimized: {flat.total:.4f} s with {flat.comm_bytes_per_node / 1e6:.0f} MB/node; "
+        f"sub-groups: {subgroup.total:.4f} s with {subgroup.comm_bytes_per_node / 1e6:.0f} MB/node"
+    )
+    assert flat.total > subgroup.total
+    assert flat.comm_bytes_per_node > subgroup.comm_bytes_per_node
+    # identical useful work per core
+    assert flat.compute_ideal == pytest.approx(subgroup.compute_ideal)

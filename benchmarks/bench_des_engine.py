@@ -1,0 +1,42 @@
+"""Throughput benchmarks of the simulation substrate itself.
+
+Times the DES kernel and the message-level FD simulation — the cost of
+*running* the performance plane, which bounds how large a configuration
+the cross-validation tests can afford.
+"""
+
+from repro.core import FDJob, HYBRID_MULTIPLE, FLAT_OPTIMIZED, simulate_fd
+from repro.des import Simulator
+from repro.grid import GridDescriptor
+
+
+def test_des_event_throughput(benchmark, show):
+    """Raw event processing rate of the DES kernel."""
+
+    def run_events(n=20_000):
+        sim = Simulator()
+
+        def proc():
+            for _ in range(n):
+                yield sim.timeout(1.0)
+
+        sim.spawn(proc())
+        sim.run()
+        return n
+
+    n = benchmark(run_events)
+    rate = n / benchmark.stats.stats.mean
+    show(f"DES kernel: {rate / 1e3:.0f} k events/s (this host)")
+    assert rate > 10_000
+
+
+def test_simulate_fd_flat(benchmark):
+    job = FDJob(GridDescriptor((48, 48, 48)), 16)
+    result = benchmark(simulate_fd, job, FLAT_OPTIMIZED, 32, 4)
+    assert result.total > 0
+
+
+def test_simulate_fd_hybrid(benchmark):
+    job = FDJob(GridDescriptor((48, 48, 48)), 16)
+    result = benchmark(simulate_fd, job, HYBRID_MULTIPLE, 32, 4)
+    assert result.total > 0

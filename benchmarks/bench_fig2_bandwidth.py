@@ -1,0 +1,42 @@
+"""Figure 2 — point-to-point bandwidth vs message size.
+
+One MPI message between two neighbouring nodes of the simulated BG/P, for
+message sizes spanning 10^0..10^7 bytes.  Shape criteria from the paper:
+half the asymptotic bandwidth at ~10^3 bytes, saturation above 10^5.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.netmodel import measured_bandwidth_curve
+from repro.util.units import MB
+
+SIZES = [10**e for e in range(8)]
+
+
+def test_fig2_bandwidth_curve(benchmark, show):
+    points = benchmark(measured_bandwidth_curve, SIZES)
+    show(
+        format_table(
+            ["message bytes", "bandwidth MB/s", "time us"],
+            [[p.message_bytes, p.bandwidth / MB, p.time * 1e6] for p in points],
+            title="Fig 2 — ping-pong between neighbouring nodes",
+        )
+    )
+
+    bw = {p.message_bytes: p.bandwidth for p in points}
+    asymptote = bw[10**7]
+
+    # bandwidth rises monotonically with size
+    series = [p.bandwidth for p in points]
+    assert series == sorted(series)
+
+    # half the asymptotic bandwidth near 10^3 bytes
+    assert bw[10**3] == pytest.approx(asymptote / 2, rel=0.10)
+
+    # saturation needs >= 10^5 bytes; 10^4 is still clearly below
+    assert bw[10**5] >= 0.95 * asymptote
+    assert bw[10**4] < 0.95 * asymptote
+
+    # the asymptote sits below the raw 425 MB/s link rate, as measured
+    assert 300 * MB < asymptote < 425 * MB

@@ -1,0 +1,71 @@
+"""Figure 5 — speedup of the FD operation, 32 grids of 144^3, 1..4096 cores.
+
+Left panel: batching disabled.  Right panel: batch-size 8 (the maximum
+with 32 grids if all four cores of a node get grids).  Shape criteria:
+the best scaling/running time is obtained by Flat optimized and Hybrid
+multiple with batch-size 8; Flat original trails; batching helps at scale
+and helps Hybrid multiple more than Flat optimized.
+"""
+
+from conftest import APPROACH_NAMES, SHORT_NAMES
+
+from repro.analysis import fig5_rows, format_table
+
+CORES = (1, 512, 1024, 2048, 4096)
+
+
+def _render(rows, title):
+    table = [
+        [r.n_cores] + [round(r.speedups.get(n, float("nan")), 1) for n in APPROACH_NAMES]
+        for r in rows
+    ]
+    return format_table(
+        ["cores"] + [SHORT_NAMES[n] for n in APPROACH_NAMES], table, title=title
+    )
+
+
+def test_fig5_left_batching_disabled(benchmark, show):
+    rows = benchmark(fig5_rows, False, cores=CORES)
+    show(_render(rows, "Fig 5 (left) — batching disabled"))
+
+    for r in rows:
+        assert set(r.speedups) == set(APPROACH_NAMES)
+    # speedups grow with cores for every approach
+    for name in APPROACH_NAMES:
+        series = [r.speedups[name] for r in rows]
+        assert series == sorted(series)
+    # flat original is the slowest optimized-or-not at scale
+    final = rows[-1].speedups
+    assert min(final, key=final.get) == "flat-original"
+
+
+def test_fig5_right_batch_size_8(benchmark, show):
+    rows = benchmark(fig5_rows, True, cores=CORES)
+    show(_render(rows, "Fig 5 (right) — batch-size 8"))
+
+    final = rows[-1].speedups
+    # "the best scaling and running time is obtained with Flat optimized
+    # and Hybrid multiple both using a batch-size of 8"
+    top_two = sorted(final, key=final.get, reverse=True)[:2]
+    assert set(top_two) == {"flat-optimized", "hybrid-multiple"}
+    assert min(final, key=final.get) == "flat-original"
+    # substantial speedups at 4096 cores (paper: roughly 2000+)
+    assert final["flat-optimized"] > 1500
+    assert final["hybrid-multiple"] > 1500
+
+
+def test_fig5_batching_gain_larger_for_hybrid(benchmark, show):
+    """Section VII: 'the advantage of batching is greater in Hybrid
+    multiple than in Flat optimized'."""
+
+    def gains():
+        left = {r.n_cores: r.speedups for r in fig5_rows(False, cores=(4096,))}
+        right = {r.n_cores: r.speedups for r in fig5_rows(True, cores=(4096,))}
+        return {
+            name: right[4096][name] / left[4096][name]
+            for name in ("flat-optimized", "hybrid-multiple")
+        }
+
+    g = benchmark(gains)
+    show(f"batching gain at 4096 cores: {g}")
+    assert g["hybrid-multiple"] > g["flat-optimized"] > 1.0

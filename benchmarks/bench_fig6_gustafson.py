@@ -1,0 +1,67 @@
+"""Figure 6 — Gustafson graph: grids = cores, 192^3, best batch-size.
+
+Shape criteria: Hybrid multiple is faster than Flat optimized from 512
+cores on; Flat original's running time grows fastest; the right-axis
+communication-per-node curves differ by ~4^(1/3) (flat divides each grid
+four times more than hybrid).
+"""
+
+import pytest
+from conftest import APPROACH_NAMES, SHORT_NAMES
+
+from repro.analysis import fig6_rows, format_table
+
+CORES = (512, 1024, 2048, 4096, 8192, 16384)
+
+
+def test_fig6_gustafson(benchmark, show):
+    rows = benchmark(fig6_rows, cores=CORES)
+    table = [
+        [r.n_cores]
+        + [round(r.times[n], 3) for n in APPROACH_NAMES]
+        + [round(r.flat_comm_mb, 1), round(r.hybrid_comm_mb, 1)]
+        for r in rows
+    ]
+    show(
+        format_table(
+            ["cores=grids"]
+            + [SHORT_NAMES[n] + " s" for n in APPROACH_NAMES]
+            + ["flat MB/node", "hyb MB/node"],
+            table,
+            title="Fig 6 — Gustafson: one grid per CPU-core, 192^3",
+        )
+    )
+
+    # "At 512 CPU-cores Hybrid multiple is faster than Flat optimized"
+    for r in rows:
+        assert r.times["hybrid-multiple"] < r.times["flat-optimized"]
+
+    # the original implementation is always the slowest and rises fastest
+    for r in rows:
+        assert max(r.times, key=r.times.get) == "flat-original"
+    orig = [r.times["flat-original"] for r in rows]
+    hyb = [r.times["hybrid-multiple"] for r in rows]
+    assert orig == sorted(orig)
+    assert (orig[-1] / orig[0]) > (hyb[-1] / hyb[0])
+
+    # communication per node grows with scale, flat ~1.59x hybrid
+    flat_comm = [r.flat_comm_mb for r in rows]
+    hyb_comm = [r.hybrid_comm_mb for r in rows]
+    assert flat_comm == sorted(flat_comm)
+    assert hyb_comm == sorted(hyb_comm)
+    for r in rows:
+        assert r.flat_comm_mb / r.hybrid_comm_mb == pytest.approx(
+            4 ** (1 / 3), rel=0.20
+        )
+
+
+def test_fig6_communication_magnitude(benchmark, show):
+    """The right axis reaches hundreds of MB per node at 16k cores."""
+    rows = benchmark(fig6_rows, cores=(16384,))
+    r = rows[0]
+    show(
+        f"comm per node at 16384 cores: flat {r.flat_comm_mb:.0f} MB, "
+        f"hybrid {r.hybrid_comm_mb:.0f} MB (paper: several hundred MB)"
+    )
+    assert 100 < r.hybrid_comm_mb < 1000
+    assert 100 < r.flat_comm_mb < 1000

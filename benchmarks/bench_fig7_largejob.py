@@ -1,0 +1,58 @@
+"""Figure 7 — large-job speedup: 2816 grids of 192^3, 1k..16k cores.
+
+Every approach is compared with Flat original at 1024 cores.  Shape
+criteria from the paper: Hybrid multiple reaches ~16.5 (12 relative to
+itself, where 16 would be linear); Flat original reaches ~8.5; the curve
+order at 16k is hybrid multiple > flat optimized > master-only > original.
+"""
+
+import pytest
+from conftest import APPROACH_NAMES, SHORT_NAMES
+
+from repro.analysis import fig7_rows, format_table
+
+
+def test_fig7_large_job(benchmark, show):
+    rows = benchmark(fig7_rows)
+    table = [
+        [r.n_cores] + [round(r.speedups[n], 2) for n in APPROACH_NAMES]
+        for r in rows
+    ]
+    show(
+        format_table(
+            ["cores"] + [SHORT_NAMES[n] for n in APPROACH_NAMES],
+            table,
+            title="Fig 7 — speedup vs flat-original @ 1k cores",
+        )
+    )
+
+    first, last = rows[0], rows[-1]
+    assert first.n_cores == 1024 and last.n_cores == 16384
+    assert first.speedups["flat-original"] == pytest.approx(1.0)
+
+    # paper: "going from 1k to 16k CPU-cores gives a speedup of
+    # approximately 16.5 compared to Flat original"
+    assert last.speedups["hybrid-multiple"] == pytest.approx(16.5, rel=0.15)
+
+    # paper: hybrid multiple vs itself ~12 (16 would be linear)
+    self_speedup = (
+        last.speedups["hybrid-multiple"] / first.speedups["hybrid-multiple"]
+    )
+    assert 10 <= self_speedup <= 15
+
+    # flat original scales to ~8.5
+    assert last.speedups["flat-original"] == pytest.approx(8.5, rel=0.15)
+
+    # curve order at 16k cores
+    s = last.speedups
+    assert (
+        s["hybrid-multiple"]
+        > s["flat-optimized"]
+        > s["hybrid-master-only"]
+        > s["flat-original"]
+    )
+
+    # every curve rises monotonically
+    for name in APPROACH_NAMES:
+        series = [r.speedups[name] for r in rows]
+        assert series == sorted(series)

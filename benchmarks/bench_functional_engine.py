@@ -1,0 +1,65 @@
+"""Wall-clock benchmarks of the *functional* plane (real numerics).
+
+These time the distributed engine end to end on this host — threads,
+halo packing, transport, stencils — one benchmark per approach, plus the
+distributed Poisson solver.  (Relative numbers here reflect this host's
+Python threading, not BG/P behaviour; the simulated planes cover that.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ALL_APPROACHES,
+    DistributedStencil,
+    FLAT_OPTIMIZED,
+    approach_by_name,
+)
+from repro.dft.distributed import DistributedPoissonSolver
+from repro.grid import Decomposition, GridDescriptor, HaloSpec, scatter
+from repro.stencil import laplacian_coefficients
+from repro.transport import run_ranks
+
+
+def run_engine(approach, n_ranks=4, n_grids=8, shape=(24, 24, 24), batch=2):
+    gd = GridDescriptor(shape)
+    decomp = Decomposition(gd, n_ranks)
+    engine = DistributedStencil(decomp, laplacian_coefficients(2, gd.spacing))
+    halo = HaloSpec(2)
+    blocks = {
+        gid: scatter(gd.random(seed=gid), decomp, halo) for gid in range(n_grids)
+    }
+    b = batch if approach.supports_batching else 1
+
+    def rank_fn(ep):
+        mine = {gid: blocks[gid][ep.rank] for gid in blocks}
+        return engine.apply(ep, mine, approach=approach, batch_size=b)
+
+    return run_ranks(n_ranks, rank_fn)
+
+
+@pytest.mark.parametrize("name", [a.name for a in ALL_APPROACHES])
+def test_engine_wall_time(benchmark, name):
+    approach = approach_by_name(name)
+    results = benchmark(run_engine, approach)
+    assert len(results) == 4
+
+
+def test_engine_throughput(benchmark, show):
+    n_grids, shape = 8, (24, 24, 24)
+    benchmark(run_engine, FLAT_OPTIMIZED, 4, n_grids, shape, 2)
+    points = n_grids * int(np.prod(shape))
+    rate = points / benchmark.stats.stats.mean
+    show(f"functional engine: {rate / 1e6:.1f} Mpoints/s over 4 rank threads")
+    assert rate > 1e5
+
+
+def test_distributed_poisson_wall_time(benchmark):
+    gd = GridDescriptor((12, 12, 12), pbc=(False,) * 3, spacing=0.5)
+    x, y, z = gd.coordinates()
+    c = (gd.shape[0] + 1) * gd.spacing / 2
+    rho = np.exp(-((x - c) ** 2 + (y - c) ** 2 + (z - c) ** 2))
+    solver = DistributedPoissonSolver(gd, n_ranks=4, tolerance=1e-4,
+                                      max_sweeps=5000)
+    result = benchmark(solver.solve, rho)
+    assert result.converged

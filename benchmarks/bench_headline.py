@@ -1,0 +1,30 @@
+"""Section VIII headline numbers.
+
+"the hybrid programming approach combined with the latency-hiding
+techniques is 94% faster at 16384 CPU-cores. Translated into utilization
+this means that CPU utilization grows from 36% to 70%. ... the hybrid
+implementation is still 10% faster than the non-hybrid approach."
+"""
+
+import pytest
+
+from repro.analysis import headline_numbers
+
+
+def test_headline_numbers(benchmark, show):
+    h = benchmark(headline_numbers)
+    show(
+        "Section VIII headline (model vs paper):\n"
+        f"  speedup vs original @16k : {h.speedup_vs_original:.2f}   (paper 1.94)\n"
+        f"  utilization original     : {h.utilization_original:.0%}    (paper 36%)\n"
+        f"  utilization hybrid       : {h.utilization_hybrid:.0%}    (paper 70%)\n"
+        f"  hybrid vs flat optimized : {(h.hybrid_vs_flat_optimized - 1) * 100:+.0f}%   (paper ~+10%)"
+    )
+    assert h.speedup_vs_original == pytest.approx(1.94, rel=0.15)
+    assert h.utilization_original == pytest.approx(0.36, abs=0.08)
+    assert h.utilization_hybrid == pytest.approx(0.70, abs=0.10)
+    assert 1.02 < h.hybrid_vs_flat_optimized < 1.30
+    # the utilization ratio and the speedup tell the same story
+    assert h.utilization_hybrid / h.utilization_original == pytest.approx(
+        h.speedup_vs_original, rel=0.05
+    )

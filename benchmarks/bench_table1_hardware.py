@@ -1,0 +1,23 @@
+"""Table I — hardware description of a Blue Gene/P node.
+
+Regenerates the paper's Table I from the machine spec and checks every
+row against the published values.
+"""
+
+from repro.analysis import format_table, table1
+
+
+def test_table1_hardware(benchmark, show):
+    rows = benchmark(table1)
+    show(format_table(["item", "value"], rows, title="Table I — BG/P node"))
+
+    d = dict(rows)
+    assert d["Node CPU"] == "4 PowerPC 450 cores"
+    assert d["CPU frequency"] == "850 MHz"
+    assert d["L1 cache (private)"] == "64KB per core"
+    assert d["L2 cache (private)"] == "Seven stream prefetching"
+    assert d["L3 cache (shared)"] == "8MB"
+    assert d["Main memory"] == "2 GB"
+    assert d["Main memory bandwidth"] == "13.6 GB/s"
+    assert d["Peak performance"] == "13.6 Gflops/node"
+    assert d["Torus bandwidth"] == "6 x 2 x 425MB/s = 5.1GB/s"

@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures, asserts its
+shape criteria (who wins, by what factor, where crossovers fall), and
+prints the rows in the paper's layout.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(``-s`` shows the printed tables; without it they are captured.)
+"""
+
+import pytest
+
+
+APPROACH_NAMES = [
+    "flat-original",
+    "flat-optimized",
+    "hybrid-multiple",
+    "hybrid-master-only",
+]
+
+SHORT_NAMES = {
+    "flat-original": "orig",
+    "flat-optimized": "opt",
+    "hybrid-multiple": "hyb-mult",
+    "hybrid-master-only": "hyb-master",
+}
+
+
+@pytest.fixture
+def show():
+    """Print a reproduced table under a separating banner."""
+
+    def _show(text: str) -> None:
+        print("\n" + text)
+
+    return _show

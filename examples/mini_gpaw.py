@@ -1,0 +1,69 @@
+"""Mini-GPAW end to end: an LDA calculation with GPAW's own algorithm.
+
+Everything the paper's introduction describes, in one run: a "molecule"
+(two Gaussian potential wells), wave functions iterated with RMM-DIIS
+(GPAW's residual-minimization eigensolver — the loop that applies the FD
+stencil to every band, repeatedly), the Hartree potential from the
+multigrid Poisson solver, LDA exchange-correlation, and a self-consistent
+total energy.
+
+Run:  python examples/mini_gpaw.py
+"""
+
+import numpy as np
+
+from repro.dft import SCFLoop
+from repro.dft.density import total_charge
+from repro.grid import GridDescriptor
+
+
+def two_wells(gd: GridDescriptor, depth=4.0, sigma=1.1, separation=2.2):
+    """A diatomic-molecule-like external potential: two Gaussian wells."""
+    x, y, z = gd.coordinates()
+    c = (gd.shape[0] + 1) * gd.spacing / 2
+    left = (x - (c - separation / 2)) ** 2 + (y - c) ** 2 + (z - c) ** 2
+    right = (x - (c + separation / 2)) ** 2 + (y - c) ** 2 + (z - c) ** 2
+    return -depth * (
+        np.exp(-left / (2 * sigma**2)) + np.exp(-right / (2 * sigma**2))
+    )
+
+
+def main() -> None:
+    gd = GridDescriptor((20, 20, 20), pbc=(False,) * 3, spacing=0.45)
+    v_ext = two_wells(gd)
+    print(f"grid {gd.shape}, spacing {gd.spacing} a.u.")
+    print("external potential: two Gaussian wells (a 'diatomic molecule')")
+
+    scf = SCFLoop(
+        gd, v_ext, n_bands=2, occupations=[2.0, 2.0], mixing=0.5,
+        tolerance=1e-4, max_iterations=40, eig_tol=1e-6,
+        xc="lda", eigensolver="rmm-diis",
+    )
+    out = scf.run()
+
+    print(f"\nSCF (RMM-DIIS + LDA): converged={out.converged} "
+          f"in {out.iterations} iterations")
+    print(f"  electrons            : {total_charge(gd, out.density):.4f}")
+    print(f"  band energies        : "
+          + ", ".join(f"{e:.4f}" for e in out.energies) + " Ha")
+    print(f"  total energy         : {out.total_energy:.4f} Ha")
+
+    # bonding vs antibonding character: the ground state is symmetric
+    # (no node between the wells), the second state antisymmetric.
+    mid = gd.shape[0] // 2
+    ground = out.states[0]
+    excited = out.states[1]
+    print(f"  |psi_0| at bond mid  : {abs(ground[mid, mid, mid]):.4f} (bonding: large)")
+    print(f"  |psi_1| at bond mid  : {abs(excited[mid, mid, mid]):.4f} (antibonding: ~0)")
+
+    # density profile along the molecular axis
+    profile = out.density[:, mid, mid]
+    peak = profile.max()
+    print("\n  density along the bond axis:")
+    for i in range(0, gd.shape[0], 2):
+        bar = "#" * int(profile[i] / peak * 40)
+        print(f"   x={i * gd.spacing:5.2f}  {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Whole-application outlook: is rewriting all of GPAW worth it? (§VIII-A)
+
+The paper optimizes only the finite-difference kernel and leaves the rest
+of GPAW as "further work".  This example uses the whole-application model
+to quantify that outlook for a full SCF iteration: phase breakdown of the
+original code, the gain from the paper's FD-only optimization (Amdahl),
+and the gain from a full hybrid/latency-hiding rewrite — for both a
+band-heavy production job and a lean few-band job.
+
+Run:  python examples/whole_application.py
+"""
+
+from repro.analysis import format_table
+from repro.core import FDJob, WholeAppModel
+from repro.grid import GridDescriptor
+
+
+def report(model: WholeAppModel, job: FDJob, label: str) -> None:
+    print(f"\n=== {label}: {job.n_grids} bands of {job.grid.shape} ===")
+    rows = []
+    for cores in (1024, 4096, 16384):
+        t = model.original(job, cores)
+        f = t.fractions()
+        g = model.gains(job, cores)
+        rows.append([
+            cores,
+            round(t.total, 3),
+            f"{f['fd']:.0%}",
+            f"{f['subspace']:.0%}",
+            f"{f['poisson'] + f['density']:.0%}",
+            round(g["fd_only"], 2),
+            round(g["amdahl"], 2),
+            round(g["full"], 2),
+        ])
+    print(format_table(
+        ["cores", "orig s/SCF", "FD", "subspace", "other",
+         "FD-only gain", "Amdahl gain", "full-rewrite gain"],
+        rows,
+    ))
+
+
+def main() -> None:
+    model = WholeAppModel()
+
+    # The paper's Fig 7 workload: thousands of bands — the subspace GEMMs
+    # weigh heavily, diluting the FD-only gain (Amdahl's law).
+    report(model, FDJob(GridDescriptor((192, 192, 192)), 2816),
+           "production job")
+
+    # A lean job where the FD operation dominates: here the whole-app gain
+    # approaches the kernel gain, the regime of the paper's conjecture.
+    report(model, FDJob(GridDescriptor((192, 192, 192)), 128), "lean job")
+
+    print(
+        "\nReading: the 1.94x kernel gain survives as a whole-application"
+        "\ngain only where the FD step dominates the iteration — the"
+        "\nquantitative version of the paper's closing 'a lot of work"
+        "\nremains' caveat."
+    )
+
+
+if __name__ == "__main__":
+    main()

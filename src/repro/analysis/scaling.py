@@ -1,0 +1,139 @@
+"""Scaling analysis: efficiency, iso-efficiency, and crossover finding.
+
+Utilities answering the questions the paper's figures raise but do not
+plot: at what point does hybrid multiple overtake flat optimized
+(Fig 6's "at 512 CPU-cores" remark, generalized), how much work per core
+does each approach need to sustain a target efficiency (iso-efficiency),
+and how parallel efficiency decays along Fig 5/7's axes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.approaches import Approach
+from repro.core.perfmodel import FDJob, PerformanceModel
+from repro.grid.grid import GridDescriptor
+from repro.machine.spec import BGP_SPEC, MachineSpec
+
+
+def parallel_efficiency(
+    job: FDJob,
+    approach: Approach,
+    n_cores: int,
+    pm: Optional[PerformanceModel] = None,
+    batch_size: Optional[int] = None,
+) -> float:
+    """``T_seq / (P * T_par)`` — classic strong-scaling efficiency."""
+    pm = pm or PerformanceModel()
+    seq = pm.sequential_time(job)
+    if batch_size is None:
+        t = (
+            pm.best_batch_size(job, approach, n_cores)
+            if approach.supports_batching
+            else pm.evaluate(job, approach, n_cores)
+        )
+    else:
+        t = pm.evaluate(job, approach, n_cores, batch_size=batch_size)
+    return seq / (n_cores * t.total)
+
+
+def crossover_cores(
+    job: FDJob,
+    contender: Approach,
+    incumbent: Approach,
+    cores: Sequence[int] = (16, 64, 256, 512, 1024, 2048, 4096, 8192, 16384),
+    spec: MachineSpec = BGP_SPEC,
+) -> Optional[int]:
+    """Smallest probed core count where ``contender`` beats ``incumbent``.
+
+    Returns None if it never does within the probe set.  With grids =
+    cores (the Fig 6 workload built per probe), hybrid multiple vs flat
+    optimized reproduces the paper's 512-core remark.
+    """
+    pm = PerformanceModel(spec)
+    for p in cores:
+        probe_job = FDJob(job.grid, max(job.n_grids, 1))
+        a = (
+            pm.best_batch_size(probe_job, contender, p)
+            if contender.supports_batching
+            else pm.evaluate(probe_job, contender, p)
+        )
+        b = (
+            pm.best_batch_size(probe_job, incumbent, p)
+            if incumbent.supports_batching
+            else pm.evaluate(probe_job, incumbent, p)
+        )
+        if a.total < b.total:
+            return p
+    return None
+
+
+def gustafson_crossover(
+    grid: GridDescriptor,
+    contender: Approach,
+    incumbent: Approach,
+    cores: Sequence[int] = (16, 64, 256, 512, 1024, 2048, 4096, 8192, 16384),
+    spec: MachineSpec = BGP_SPEC,
+) -> Optional[int]:
+    """Crossover under the Fig 6 workload (one grid per core)."""
+    pm = PerformanceModel(spec)
+    for p in cores:
+        job = FDJob(grid, p)
+        a = (
+            pm.best_batch_size(job, contender, p)
+            if contender.supports_batching
+            else pm.evaluate(job, contender, p)
+        )
+        b = (
+            pm.best_batch_size(job, incumbent, p)
+            if incumbent.supports_batching
+            else pm.evaluate(job, incumbent, p)
+        )
+        if a.total < b.total:
+            return p
+    return None
+
+
+def isoefficiency_grids(
+    grid: GridDescriptor,
+    approach: Approach,
+    n_cores: int,
+    target_utilization: float,
+    max_grids: int = 1 << 16,
+    spec: MachineSpec = BGP_SPEC,
+) -> Optional[int]:
+    """Fewest grids sustaining ``target_utilization`` at ``n_cores``.
+
+    Doubles the grid count until the model's utilization reaches the
+    target, then bisects.  Returns None when even ``max_grids`` cannot
+    reach it (a per-message/latency floor no amount of work amortizes).
+    """
+    if not 0 < target_utilization < 1:
+        raise ValueError(
+            f"target_utilization must be in (0, 1), got {target_utilization}"
+        )
+    pm = PerformanceModel(spec)
+
+    def util(n_grids: int) -> float:
+        job = FDJob(grid, n_grids)
+        t = (
+            pm.best_batch_size(job, approach, n_cores)
+            if approach.supports_batching
+            else pm.evaluate(job, approach, n_cores)
+        )
+        return t.utilization
+
+    lo, hi = 1, 1
+    while util(hi) < target_utilization:
+        hi *= 2
+        if hi > max_grids:
+            return None
+        lo = hi // 2
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        if util(mid) >= target_utilization:
+            hi = mid
+        else:
+            lo = mid
+    return hi

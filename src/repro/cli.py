@@ -1,0 +1,274 @@
+"""Command-line interface: regenerate any paper table/figure from a shell.
+
+Usage::
+
+    python -m repro table1
+    python -m repro fig2
+    python -m repro fig5 --batch-size 8
+    python -m repro fig6
+    python -m repro fig7
+    python -m repro headline
+    python -m repro ablation
+    python -m repro wholeapp
+    python -m repro validate          # quick model-vs-DES cross-check
+
+Every command prints the same rows the corresponding benchmark asserts
+on; this is the interactive face of ``pytest benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis import (
+    ablation_subgroups,
+    line_plot,
+    fig2_rows,
+    fig5_rows,
+    fig6_rows,
+    fig7_rows,
+    format_table,
+    headline_numbers,
+    table1,
+)
+from repro.analysis.experiments import FIG7_JOB
+from repro.core import (
+    ALL_APPROACHES,
+    FDJob,
+    PerformanceModel,
+    WholeAppModel,
+    simulate_fd,
+)
+from repro.grid import GridDescriptor
+from repro.util.units import MB
+
+_NAMES = ["flat-original", "flat-optimized", "hybrid-multiple", "hybrid-master-only"]
+_SHORT = {"flat-original": "orig", "flat-optimized": "opt",
+          "hybrid-multiple": "hyb-mult", "hybrid-master-only": "hyb-master"}
+
+
+def _cmd_table1(_args: argparse.Namespace) -> str:
+    return format_table(["item", "value"], table1(),
+                        title="Table I — hardware description of a BG/P node")
+
+
+def _cmd_fig2(_args: argparse.Namespace) -> str:
+    points = fig2_rows()
+    return format_table(
+        ["message bytes", "bandwidth MB/s"],
+        [[p.message_bytes, round(p.bandwidth / MB, 2)] for p in points],
+        title="Fig 2 — ping-pong bandwidth between neighbouring nodes",
+    )
+
+
+def _cmd_fig5(args: argparse.Namespace) -> str:
+    batching = args.batch_size > 1
+    rows = fig5_rows(batching)
+    title = (
+        f"Fig 5 — speedup, 32 grids of 144^3 "
+        f"({'batch-size 8' if batching else 'batching disabled'})"
+    )
+    if args.plot:
+        series = {
+            _SHORT[n]: [
+                (r.n_cores, r.speedups[n]) for r in rows if n in r.speedups
+            ]
+            for n in _NAMES
+        }
+        return line_plot(series, x_log=True, title=title)
+    table = [
+        [r.n_cores] + [round(r.speedups.get(n, float("nan")), 1) for n in _NAMES]
+        for r in rows
+    ]
+    return format_table(["cores"] + [_SHORT[n] for n in _NAMES], table, title=title)
+
+
+def _cmd_fig6(_args: argparse.Namespace) -> str:
+    rows = fig6_rows()
+    table = [
+        [r.n_cores]
+        + [round(r.times[n], 3) for n in _NAMES]
+        + [round(r.flat_comm_mb, 1), round(r.hybrid_comm_mb, 1)]
+        for r in rows
+    ]
+    return format_table(
+        ["cores=grids"] + [_SHORT[n] + " s" for n in _NAMES]
+        + ["flat MB/node", "hyb MB/node"],
+        table,
+        title="Fig 6 — Gustafson graph: one 192^3 grid per CPU-core",
+    )
+
+
+def _cmd_fig7(args: argparse.Namespace) -> str:
+    rows = fig7_rows()
+    title = "Fig 7 — speedup vs flat-original @1k, 2816 grids of 192^3"
+    if args.plot:
+        series = {
+            _SHORT[n]: [(r.n_cores, r.speedups[n]) for r in rows] for n in _NAMES
+        }
+        return line_plot(series, x_log=True, title=title)
+    table = [[r.n_cores] + [round(r.speedups[n], 2) for n in _NAMES] for r in rows]
+    return format_table(
+        ["cores"] + [_SHORT[n] for n in _NAMES], table, title=title,
+    )
+
+
+def _cmd_headline(_args: argparse.Namespace) -> str:
+    h = headline_numbers()
+    return format_table(
+        ["quantity", "model", "paper"],
+        [
+            ["speedup vs original @16k cores", f"{h.speedup_vs_original:.2f}", "1.94"],
+            ["utilization, original", f"{h.utilization_original:.0%}", "36%"],
+            ["utilization, hybrid multiple", f"{h.utilization_hybrid:.0%}", "70%"],
+            ["hybrid vs flat optimized", f"{h.hybrid_vs_flat_optimized:.2f}", "~1.10"],
+        ],
+        title="Section VIII — headline numbers",
+    )
+
+
+def _cmd_ablation(_args: argparse.Namespace) -> str:
+    sub, hyb = ablation_subgroups()
+    diff = abs(sub.total - hyb.total) / hyb.total
+    return (
+        "Section VII-A — static sub-groups ablation\n"
+        f"  flat + static sub-groups : {sub.total:.4f} s\n"
+        f"  hybrid multiple          : {hyb.total:.4f} s\n"
+        f"  difference               : {diff:.1%} (paper: identical)"
+    )
+
+
+def _cmd_wholeapp(args: argparse.Namespace) -> str:
+    model = WholeAppModel()
+    job = FDJob(GridDescriptor((192, 192, 192)), args.bands)
+    rows = []
+    for cores in (1024, 4096, 16384):
+        f = model.original(job, cores).fractions()
+        g = model.gains(job, cores)
+        rows.append([
+            cores, f"{f['fd']:.0%}", f"{f['subspace']:.0%}",
+            round(g["fd_only"], 2), round(g["amdahl"], 2), round(g["full"], 2),
+        ])
+    return format_table(
+        ["cores", "FD share", "subspace share", "FD-only", "Amdahl", "full rewrite"],
+        rows,
+        title=f"Section VIII-A — whole application, {args.bands} bands of 192^3",
+    )
+
+
+def _cmd_validate(args: argparse.Namespace) -> str:
+    pm = PerformanceModel()
+    job = FDJob(GridDescriptor((48, 48, 48)), 16)
+    lines = ["model-vs-DES cross-validation (32 cores, 16 grids of 48^3):"]
+    worst = 0.0
+    for a in ALL_APPROACHES:
+        b = 4 if a.supports_batching else 1
+        model = pm.evaluate(job, a, args.cores, batch_size=b)
+        sim = simulate_fd(job, a, args.cores, batch_size=b)
+        ratio = model.total / sim.total
+        if a.name != "flat-original":
+            worst = max(worst, abs(ratio - 1))
+        lines.append(
+            f"  {a.name:20s} model {model.total * 1e3:8.3f} ms  "
+            f"DES {sim.total * 1e3:8.3f} ms  ratio {ratio:5.3f}"
+        )
+    lines.append(f"worst optimized-approach deviation: {worst:.1%}")
+    return "\n".join(lines)
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> str:
+    """Re-run the calibration grid fit against the paper anchors."""
+    from repro.analysis.calibration import anchor_error, fit_compute_knobs
+    from repro.machine.spec import BGP_SPEC
+
+    result = fit_compute_knobs()
+    rows = [
+        [f"{t * 1e9:.0f}", e, round(err, 4)] for t, e, err in result.grid
+    ]
+    table = format_table(
+        ["t_point ns", "halo exponent", "anchor error"],
+        rows,
+        title="calibration grid (sum of squared relative anchor errors)",
+    )
+    shipped = anchor_error(BGP_SPEC)
+    summary = (
+        f"\nbest: t_point={result.spec.stencil_point_time * 1e9:.0f} ns, "
+        f"exponent={result.spec.halo_compute_exponent} "
+        f"(error {result.error:.4f}); shipped spec error {shipped:.4f}"
+    )
+    return table + summary
+
+
+def _cmd_report(args: argparse.Namespace) -> str:
+    """Every experiment in one run — a regenerated EXPERIMENTS digest."""
+    sections = [
+        _cmd_table1(args),
+        _cmd_fig2(args),
+        _cmd_fig5(argparse.Namespace(batch_size=1, plot=False)),
+        _cmd_fig5(argparse.Namespace(batch_size=8, plot=False)),
+        _cmd_fig6(args),
+        _cmd_fig7(argparse.Namespace(plot=False)),
+        _cmd_ablation(args),
+        _cmd_headline(args),
+        _cmd_wholeapp(argparse.Namespace(bands=2816)),
+        _cmd_validate(argparse.Namespace(cores=32)),
+    ]
+    banner = (
+        "Reproduction report — 'GPAW optimized for Blue Gene/P using "
+        "hybrid programming' (IPDPS 2009)\n"
+        + "=" * 72
+    )
+    return banner + "\n\n" + "\n\n".join(sections)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("table1", help="Table I: BG/P node description")
+    sub.add_parser("fig2", help="Fig 2: bandwidth vs message size")
+    p5 = sub.add_parser("fig5", help="Fig 5: speedup, 32 grids of 144^3")
+    p5.add_argument("--batch-size", type=int, default=8,
+                    help="8 = right panel (default); 1 = left panel")
+    p5.add_argument("--plot", action="store_true", help="ASCII chart instead of a table")
+    sub.add_parser("fig6", help="Fig 6: Gustafson graph")
+    p7 = sub.add_parser("fig7", help="Fig 7: large-job speedup")
+    p7.add_argument("--plot", action="store_true", help="ASCII chart instead of a table")
+    sub.add_parser("headline", help="Section VIII headline numbers")
+    sub.add_parser("ablation", help="Section VII-A sub-groups ablation")
+    pw = sub.add_parser("wholeapp", help="Section VIII-A whole-app outlook")
+    pw.add_argument("--bands", type=int, default=2816)
+    pv = sub.add_parser("validate", help="model-vs-DES cross-check")
+    pv.add_argument("--cores", type=int, default=32)
+    sub.add_parser("report", help="all experiments in one run")
+    sub.add_parser("calibrate", help="re-fit the compute knobs to the anchors")
+    return parser
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "fig2": _cmd_fig2,
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "fig7": _cmd_fig7,
+    "headline": _cmd_headline,
+    "ablation": _cmd_ablation,
+    "wholeapp": _cmd_wholeapp,
+    "validate": _cmd_validate,
+    "report": _cmd_report,
+    "calibrate": _cmd_calibrate,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    print(_COMMANDS[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""The paper's contribution: the optimized distributed finite-difference op.
+
+Four programming approaches (section VI), one engine, two planes:
+
+* :mod:`repro.core.approaches` — declarative descriptions of *Flat
+  original*, *Flat optimized*, *Hybrid multiple* and *Hybrid master-only*.
+* :mod:`repro.core.batching` — grid batches and the ramp-up schedule that
+  softens the double-buffering prologue (section V-A).
+* :mod:`repro.core.engine` — the functional engine: executes any approach
+  on real NumPy grids over a transport, bit-identical to the sequential
+  stencil.
+* :mod:`repro.core.simrun` — the same schedules driven through simulated
+  MPI on the DES machine: exact message-level timing at small scale.
+* :mod:`repro.core.perfmodel` — the closed-form performance model used to
+  regenerate the paper's figures at up to 16384 cores; cross-validated
+  against :mod:`repro.core.simrun` by tests.
+"""
+
+from repro.core.approaches import (
+    Approach,
+    FLAT_ORIGINAL,
+    FLAT_OPTIMIZED,
+    HYBRID_MULTIPLE,
+    HYBRID_MASTER_ONLY,
+    ALL_APPROACHES,
+    approach_by_name,
+)
+from repro.core.batching import batch_schedule
+from repro.core.engine import DistributedStencil, SequentialStencil
+from repro.core.perfmodel import FDJob, PerformanceModel, FDTiming
+from repro.core.simrun import simulate_fd
+from repro.core.wholeapp import ScfPhaseTimes, WholeAppModel
+from repro.core.memory import (
+    fd_memory_per_rank,
+    fits_in_memory,
+    max_grids_per_core,
+    memory_limit_per_rank,
+)
+
+__all__ = [
+    "Approach",
+    "FLAT_ORIGINAL",
+    "FLAT_OPTIMIZED",
+    "HYBRID_MULTIPLE",
+    "HYBRID_MASTER_ONLY",
+    "ALL_APPROACHES",
+    "approach_by_name",
+    "batch_schedule",
+    "DistributedStencil",
+    "SequentialStencil",
+    "FDJob",
+    "PerformanceModel",
+    "FDTiming",
+    "simulate_fd",
+    "ScfPhaseTimes",
+    "WholeAppModel",
+    "fd_memory_per_rank",
+    "fits_in_memory",
+    "max_grids_per_core",
+    "memory_limit_per_rank",
+]

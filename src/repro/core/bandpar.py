@@ -1,0 +1,115 @@
+"""Band parallelization — beyond the paper's decomposition constraint.
+
+The paper's scaling wall is section IV's requirement that *every* process
+hold the same subset of *every* grid, forcing the domain decomposition to
+spread across all ranks and shrink blocks to slivers at 16 k cores.  The
+escape (which GPAW later implemented) is to split the ranks into ``nb``
+*band groups*: each group holds ``G/nb`` of the wave functions on a
+``P/nb``-core domain decomposition — blocks grow by ``nb^(1/3)`` per side,
+FD communication drops, and only the orthogonalization has to talk across
+band groups (a ring pass of band blocks through the torus).
+
+This module models one SCF-relevant step under band parallelization,
+reusing the calibrated FD model:
+
+* **FD step** — ``G/nb`` grids on ``P/nb`` cores per group (groups run
+  concurrently), hybrid-multiple schedule.
+* **Subspace step** — the overlap/rotation GEMMs (same total flops per
+  core as before) plus the ring exchange: ``nb - 1`` stages, each moving
+  every rank's local band block to a ring neighbour while the partial
+  GEMM computes (overlappable).
+
+``nb = 1`` reduces exactly to the paper's hybrid-multiple setup, which
+tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.approaches import HYBRID_MULTIPLE
+from repro.core.perfmodel import FDJob, PerformanceModel
+from repro.core.wholeapp import WholeAppModel
+from repro.grid.decompose import Decomposition
+from repro.machine.spec import BGP_SPEC, MachineSpec
+from repro.util.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class BandParTiming:
+    """One step under a given band-group count."""
+
+    n_band_groups: int
+    fd: float
+    subspace_compute: float
+    subspace_ring_comm: float
+
+    @property
+    def subspace(self) -> float:
+        """Ring stages overlap compute; the slower of the two bounds."""
+        return max(self.subspace_compute, self.subspace_ring_comm)
+
+    @property
+    def total(self) -> float:
+        return self.fd * WholeAppModel.FD_APPLICATIONS_PER_SCF + self.subspace
+
+
+class BandParallelModel:
+    """Evaluate band-parallel configurations on the calibrated machine."""
+
+    def __init__(self, spec: MachineSpec = BGP_SPEC):
+        self.spec = spec
+        self.fd_model = PerformanceModel(spec)
+
+    def evaluate(self, job: FDJob, n_cores: int, n_band_groups: int) -> BandParTiming:
+        """Timing of one FD+subspace step with ``n_band_groups`` groups."""
+        check_positive_int(n_cores, "n_cores")
+        nb = check_positive_int(n_band_groups, "n_band_groups")
+        if job.n_grids % nb:
+            raise ValueError(
+                f"{nb} band groups cannot evenly hold {job.n_grids} grids"
+            )
+        if n_cores % (4 * nb):
+            raise ValueError(
+                f"{nb} band groups need n_cores divisible by {4 * nb}, "
+                f"got {n_cores}"
+            )
+        group_cores = n_cores // nb
+        group_job = FDJob(job.grid, job.n_grids // nb)
+        fd = self.fd_model.best_batch_size(group_job, HYBRID_MULTIPLE, group_cores)
+
+        # subspace GEMMs: total flops unchanged (S is still G x G over the
+        # full band set; every core touches its share)
+        g = job.n_grids
+        p = job.grid.n_points / n_cores
+        flops = 2 * 2 * g * g * p
+        rate = self.spec.node.core.peak_flops * WholeAppModel.GEMM_EFFICIENCY
+        compute = flops / rate
+
+        # ring pass: nb-1 stages; per stage every node ships its local
+        # band block (G/nb grids x node block points) to a ring neighbour
+        decomp = Decomposition(job.grid, HYBRID_MULTIPLE.domains_for(group_cores))
+        block_bytes = (
+            decomp.max_block_points()
+            * (job.n_grids // nb)
+            * job.grid.bytes_per_point
+        )
+        per_stage = self.spec.torus.message_time(block_bytes, hops=1)
+        ring = (nb - 1) * per_stage
+
+        return BandParTiming(
+            n_band_groups=nb,
+            fd=fd.total,
+            subspace_compute=compute,
+            subspace_ring_comm=ring,
+        )
+
+    def sweep(self, job: FDJob, n_cores: int, max_groups: int = 8) -> list[BandParTiming]:
+        """All feasible group counts up to ``max_groups`` (powers of two)."""
+        out = []
+        nb = 1
+        while nb <= max_groups:
+            if job.n_grids % nb == 0 and n_cores % (4 * nb) == 0:
+                out.append(self.evaluate(job, n_cores, nb))
+            nb *= 2
+        return out

@@ -1,0 +1,318 @@
+"""The functional distributed FD engine: real numerics, any approach.
+
+Every rank holds the *same subset of every grid* (GPAW's requirement,
+section IV): a ``dict[grid_id, LocalGrid]``.  ``DistributedStencil.apply``
+executes the chosen approach's communication schedule over a transport
+endpoint and returns the output blocks.  All four approaches must produce
+results bit-identical to :class:`SequentialStencil` — the central
+correctness property of the library, enforced by the integration tests.
+
+Schedules implemented (section V / VI):
+
+* serialized dimension-by-dimension blocking exchange (Flat original),
+* simultaneous non-blocking exchange in all six directions,
+* double buffering across grids/batches (exchange of batch *k+1* is in
+  flight while batch *k* computes),
+* batching with optional ramp-up,
+* per-worker grid ownership (Hybrid multiple) and shared-grid computation
+  with per-grid synchronization points (Hybrid master-only).
+
+In this functional plane, "threads" are executed as deterministic worker
+loops inside the rank — the numerics are identical, and the *timing*
+differences between threads and ranks are the business of the performance
+plane (:mod:`repro.core.perfmodel`, :mod:`repro.core.simrun`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.approaches import Approach, FLAT_OPTIMIZED
+from repro.core.batching import batch_schedule, split_among_workers
+from repro.grid.array import LocalGrid
+from repro.grid.decompose import Decomposition
+from repro.grid.grid import GridDescriptor
+from repro.grid.halo import (
+    HaloMessage,
+    HaloSpec,
+    apply_local_wraps,
+    halo_messages,
+    zero_boundary_ghosts,
+)
+from repro.stencil.coefficients import StencilCoefficients, laplacian_coefficients
+from repro.stencil.kernel import apply_stencil_global, apply_stencil_padded
+from repro.transport.inproc import RankEndpoint
+
+
+class SequentialStencil:
+    """The single-process oracle: apply the stencil to whole grids."""
+
+    def __init__(self, grid: GridDescriptor, coeffs: StencilCoefficients):
+        self.grid = grid
+        self.coeffs = coeffs
+
+    def apply(self, arrays: Mapping[int, np.ndarray]) -> dict[int, np.ndarray]:
+        """Apply the stencil to every grid in ``arrays``."""
+        out = {}
+        for gid, a in arrays.items():
+            self.grid.check_array(a, f"grid {gid}")
+            out[gid] = apply_stencil_global(a, self.coeffs, pbc=self.grid.pbc)
+        return out
+
+
+def _tag(seq: int, dirtag: int) -> int:
+    """Compose a unique tag from a schedule sequence number + direction."""
+    return seq * 8 + dirtag
+
+
+@dataclass
+class _Exchange:
+    """One in-flight batched exchange."""
+
+    grid_ids: list[int]
+    recvs: list[tuple[object, HaloMessage]]  # (handle, message geometry)
+
+
+class DistributedStencil:
+    """Distributed application of one stencil under a given decomposition.
+
+    One instance serves any number of ``apply`` calls and all approaches;
+    per-domain halo geometry is precomputed once.
+    """
+
+    def __init__(
+        self,
+        decomp: Decomposition,
+        coeffs: StencilCoefficients,
+        compute_fn: "Callable[[np.ndarray, np.ndarray], None] | None" = None,
+    ):
+        """``compute_fn(padded, out_interior)`` may replace the default
+        Laplacian kernel by any operator of the same halo radius (e.g. a
+        gradient component) — the exchange schedules are operator-agnostic.
+        """
+        self.decomp = decomp
+        self.coeffs = coeffs
+        self.halo = HaloSpec(coeffs.radius)
+        if compute_fn is None:
+            def compute_fn(padded: np.ndarray, out: np.ndarray) -> None:
+                apply_stencil_padded(padded, self.coeffs, out=out)
+
+        self._compute_fn = compute_fn
+        self._outgoing: dict[int, list[HaloMessage]] = {}
+        self._incoming: dict[int, list[HaloMessage]] = {}
+
+    @classmethod
+    def gradient(
+        cls, decomp: Decomposition, axis: int, radius: int = 2
+    ) -> "DistributedStencil":
+        """An engine computing d/dx_axis instead of the Laplacian.
+
+        Same halo traffic, same schedules — only the arithmetic differs,
+        which is exactly why the paper's optimizations generalize to
+        "other finite difference codes" (abstract).
+        """
+        from repro.stencil.gradient import apply_gradient_padded
+
+        coeffs = laplacian_coefficients(radius, spacing=decomp.grid.spacing)
+
+        def compute_fn(padded: np.ndarray, out: np.ndarray) -> None:
+            apply_gradient_padded(
+                padded, axis, radius=radius, spacing=decomp.grid.spacing, out=out
+            )
+
+        return cls(decomp, coeffs, compute_fn=compute_fn)
+
+    # -- geometry caches ---------------------------------------------------
+    def outgoing(self, rank: int) -> list[HaloMessage]:
+        """This rank's outgoing remote messages (local wraps excluded)."""
+        if rank not in self._outgoing:
+            self._outgoing[rank] = [
+                m
+                for m in halo_messages(self.decomp, rank, self.halo.width)
+                if not m.is_local_wrap
+            ]
+        return self._outgoing[rank]
+
+    def incoming(self, rank: int) -> list[HaloMessage]:
+        """Remote messages that will arrive at this rank."""
+        if rank not in self._incoming:
+            found: list[HaloMessage] = []
+            for dim in range(3):
+                for step in (+1, -1):
+                    src = self.decomp.neighbor(rank, dim, -step)
+                    if src is None or src == rank:
+                        continue
+                    for m in halo_messages(self.decomp, src, self.halo.width):
+                        if m.dim == dim and m.step == step and m.dst_domain == rank:
+                            found.append(m)
+            self._incoming[rank] = found
+        return self._incoming[rank]
+
+    def local_wraps(self, rank: int) -> list[HaloMessage]:
+        """Periodic wraps of this rank onto itself (plain memcpys)."""
+        return [
+            m
+            for m in halo_messages(self.decomp, rank, self.halo.width)
+            if m.is_local_wrap
+        ]
+
+    # -- the public entry point ------------------------------------------------
+    def apply(
+        self,
+        ep: RankEndpoint,
+        grids: Mapping[int, LocalGrid],
+        approach: Approach = FLAT_OPTIMIZED,
+        batch_size: int = 1,
+        ramp_up: bool = False,
+    ) -> dict[int, LocalGrid]:
+        """Apply the stencil to every grid, using ``approach``'s schedule.
+
+        ``ep`` is this rank's transport endpoint; ``grids`` maps grid ids to
+        this rank's padded blocks.  Returns new output blocks (ghosts zero).
+        All ranks must call with the same grid ids and parameters.
+        """
+        if ep.size != self.decomp.n_domains:
+            raise ValueError(
+                f"transport has {ep.size} ranks, decomposition has "
+                f"{self.decomp.n_domains} domains"
+            )
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if not approach.supports_batching and batch_size != 1:
+            raise ValueError(f"{approach.name} does not support batching")
+        for gid, lg in grids.items():
+            if lg.domain != ep.rank:
+                raise ValueError(
+                    f"grid {gid}: LocalGrid belongs to domain {lg.domain}, "
+                    f"endpoint is rank {ep.rank}"
+                )
+
+        grid_ids = sorted(grids)
+        out = {
+            gid: LocalGrid(self.decomp, ep.rank, self.halo) for gid in grid_ids
+        }
+        if not grid_ids:
+            return out
+
+        if approach.serialized_exchange:
+            self._apply_serialized(ep, grids, out, grid_ids)
+        else:
+            self._apply_pipelined(
+                ep, grids, out, grid_ids, approach, batch_size, ramp_up
+            )
+        return out
+
+    # -- Flat original: dimension-serialized blocking exchange -----------------
+    def _apply_serialized(
+        self,
+        ep: RankEndpoint,
+        grids: Mapping[int, LocalGrid],
+        out: dict[int, LocalGrid],
+        grid_ids: Sequence[int],
+    ) -> None:
+        outgoing = self.outgoing(ep.rank)
+        incoming = self.incoming(ep.rank)
+        for gid in grid_ids:
+            lg = grids[gid]
+            for dim in range(3):
+                # 1) post this dimension's sends, 2) block on its receives.
+                for m in outgoing:
+                    if m.dim == dim:
+                        ep.isend(
+                            m.dst_domain,
+                            lg.data[m.send_slices],
+                            tag=_tag(gid, m.tag),
+                        )
+                for m in incoming:
+                    if m.dim == dim:
+                        payload = ep.recv(src=m.src_domain, tag=_tag(gid, m.tag))
+                        lg.data[m.recv_slices] = payload.reshape(
+                            lg.data[m.recv_slices].shape
+                        )
+            self._compute_one(lg, out[gid], ep.rank)
+
+    # -- optimized approaches: concurrent exchange + double buffering ---------
+    def _apply_pipelined(
+        self,
+        ep: RankEndpoint,
+        grids: Mapping[int, LocalGrid],
+        out: dict[int, LocalGrid],
+        grid_ids: Sequence[int],
+        approach: Approach,
+        batch_size: int,
+        ramp_up: bool,
+    ) -> None:
+        # Hybrid multiple deals whole grids to workers; each worker runs its
+        # own batched pipeline.  Other approaches are a single worker.
+        if approach.decompose_per_rank or approach.sync_per_grid:
+            worker_grid_ids = [list(grid_ids)]
+        else:
+            worker_grid_ids = split_among_workers(list(grid_ids), approach.compute_threads)
+
+        # Build the global batch list; seq numbers are unique across workers
+        # because every rank derives them from the same deterministic layout.
+        all_batches: list[tuple[int, list[int]]] = []  # (seq, grid ids)
+        seq = 0
+        for wids in worker_grid_ids:
+            if not wids:
+                continue
+            for batch_idx in batch_schedule(len(wids), batch_size, ramp_up):
+                all_batches.append((seq, [wids[i] for i in batch_idx]))
+                seq += 1
+
+        pending: Optional[_Exchange] = None
+        for seq_no, batch in all_batches:
+            started = self._start_exchange(ep, grids, batch, seq_no)
+            if approach.double_buffering:
+                if pending is not None:
+                    self._finish_and_compute(ep, grids, out, pending)
+                pending = started
+            else:
+                self._finish_and_compute(ep, grids, out, started)
+        if pending is not None:
+            self._finish_and_compute(ep, grids, out, pending)
+
+    def _start_exchange(
+        self,
+        ep: RankEndpoint,
+        grids: Mapping[int, LocalGrid],
+        batch: list[int],
+        seq: int,
+    ) -> _Exchange:
+        """Initiate the exchange of one batch in all six directions."""
+        for m in self.outgoing(ep.rank):
+            payload = np.concatenate(
+                [grids[gid].data[m.send_slices].ravel() for gid in batch]
+            )
+            ep.isend(m.dst_domain, payload, tag=_tag(seq, m.tag))
+        recvs = [
+            (ep.irecv(src=m.src_domain, tag=_tag(seq, m.tag)), m)
+            for m in self.incoming(ep.rank)
+        ]
+        return _Exchange(grid_ids=batch, recvs=recvs)
+
+    def _finish_and_compute(
+        self,
+        ep: RankEndpoint,
+        grids: Mapping[int, LocalGrid],
+        out: dict[int, LocalGrid],
+        exch: _Exchange,
+    ) -> None:
+        """Wait for a batch's ghosts, then run the stencil on its grids."""
+        for handle, m in exch.recvs:
+            payload = handle.wait()
+            slab_shape = grids[exch.grid_ids[0]].data[m.recv_slices].shape
+            per_grid = payload.reshape((len(exch.grid_ids),) + slab_shape)
+            for i, gid in enumerate(exch.grid_ids):
+                grids[gid].data[m.recv_slices] = per_grid[i]
+        for gid in exch.grid_ids:
+            self._compute_one(grids[gid], out[gid], ep.rank)
+
+    def _compute_one(self, lg: LocalGrid, out_lg: LocalGrid, rank: int) -> None:
+        """Ghost finalization + stencil for one grid."""
+        apply_local_wraps(lg.data, self.local_wraps(rank))
+        zero_boundary_ghosts(lg.data, self.decomp, rank, self.halo.width)
+        self._compute_fn(lg.data, out_lg.interior)

@@ -1,0 +1,444 @@
+"""Closed-form performance model of the distributed FD operation.
+
+The paper's benchmark workload is bulk-synchronous and node-symmetric:
+every node holds the same-shaped block of every grid and exchanges with
+six neighbours.  That makes a representative-node analysis exact up to
+boundary effects, and lets us evaluate 16384-core configurations in
+microseconds — the DES (:mod:`repro.core.simrun`) validates the model at
+small scale, this model extrapolates.
+
+Model structure (calibration notes in DESIGN.md section 5):
+
+* **Message time** ``L + s/B_eff`` per message, with per-link FIFO
+  contention: a link carrying ``m`` messages of ``s`` bytes per round
+  costs ``m * (L + s/B_eff)``.
+* **Virtual-node mode** (flat approaches): the node's four ranks are
+  independent torus endpoints — all their messages are inter-node and the
+  four same-direction messages share one link.  This matches the paper's
+  measured per-node communication gap between flat and hybrid
+  (~4^(1/3) = 1.59x, Fig 6).
+* **Overlap**: Flat original sums serialized per-dimension blocking
+  exchanges (with the +/- directions serialized and both-side software
+  overheads paid — no DMA asynchrony) with computation; the optimized
+  approaches run a double-buffered pipeline ``comm_1 +
+  sum(max(comp_k, comm_k+1)) + comp_last``.
+* **Per-call CPU cost**: every MPI call burns core time (plus MULTIPLE
+  lock queueing for hybrid multiple) — the cost batching amortizes.
+* **Small-block penalty**: per-point compute cost grows as the ghost
+  shells become comparable to the block
+  (``(padded/block) ** halo_compute_exponent``).
+* **Thread costs**: Hybrid multiple pays one spawn+join per invocation;
+  master-only pays a four-thread barrier per *grid* plus a deeper
+  quarter-block halo penalty.
+
+Full calibration rationale: DESIGN.md section 5.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.approaches import Approach
+from repro.core.batching import batch_schedule
+from repro.grid.decompose import Decomposition
+from repro.grid.grid import GridDescriptor
+from repro.machine.spec import BGP_SPEC, MachineSpec
+from repro.util.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class FDJob:
+    """One benchmark workload: ``n_grids`` grids of one shape."""
+
+    grid: GridDescriptor
+    n_grids: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_grids, "n_grids")
+
+    @property
+    def total_points(self) -> int:
+        return self.n_grids * self.grid.n_points
+
+
+@dataclass
+class FDTiming:
+    """Predicted timing of one FD invocation under one configuration."""
+
+    approach_name: str
+    n_cores: int
+    batch_size: int
+    #: wall-clock seconds of the whole invocation
+    total: float
+    #: per-core computation seconds (actual, including small-block penalty)
+    compute: float
+    #: per-core computation seconds at large-block throughput (the useful
+    #: work; the utilization baseline, matching the paper's CPU-utilization
+    #: accounting)
+    compute_ideal: float
+    #: per-node exposed (non-overlapped) communication seconds
+    comm_exposed: float
+    #: thread synchronization seconds (spawn/join/barriers/locks)
+    sync: float
+    #: inter-node bytes sent per node per invocation (Fig 6 right axis)
+    comm_bytes_per_node: float
+    #: MPI messages sent per rank per invocation
+    messages_per_rank: int
+    #: bytes of a single surface message (before batching)
+    message_bytes: float
+
+    @property
+    def utilization(self) -> float:
+        """Useful-work fraction of wall-clock time (section VIII).
+
+        The numerator is the computation at large-block throughput, so the
+        small-block halo penalty counts as overhead — matching the paper's
+        "CPU utilization grows from 36% to 70%" accounting.
+        """
+        return 0.0 if self.total <= 0 else min(1.0, self.compute_ideal / self.total)
+
+
+def _pipeline_time(comm: Sequence[float], comp: Sequence[float]) -> float:
+    """Wall time of a double-buffered pipeline.
+
+    Round ``k``'s exchange overlaps round ``k-1``'s computation:
+    ``comm[0] + sum(max(comp[k-1], comm[k])) + comp[-1]``.
+    """
+    if len(comm) != len(comp) or not comm:
+        raise ValueError("comm and comp must be equal-length, non-empty")
+    total = comm[0]
+    for k in range(1, len(comm)):
+        total += max(comp[k - 1], comm[k])
+    return total + comp[-1]
+
+
+class PerformanceModel:
+    """Evaluate FD timings for any approach, core count and batch size."""
+
+    def __init__(self, spec: MachineSpec = BGP_SPEC):
+        self.spec = spec
+
+    # -- building blocks -------------------------------------------------------
+    def _halo_factor(self, block_shape: Sequence[int]) -> float:
+        """Small-block compute penalty.
+
+        The stencil streams the ghost shells as well as the block, so the
+        per-point cost grows with (padded volume / block volume); the
+        exponent (0..1) captures how much of that extra traffic the caches
+        absorb.  Large blocks -> ~1; a 9^3 block at 4096 cores -> ~1.7.
+        """
+        w = 2
+        block = math.prod(block_shape)
+        padded = math.prod(b + 2 * w for b in block_shape)
+        return (padded / block) ** self.spec.halo_compute_exponent
+
+    def _point_time(self, decomp: Decomposition) -> float:
+        """Effective per-point compute time for this decomposition's blocks."""
+        return self.spec.stencil_point_time * self._halo_factor(
+            decomp.block_shape(0)
+        )
+
+    def sequential_time(self, job: FDJob) -> float:
+        """One core, no communication: the Fig 5 speedup baseline."""
+        return (
+            job.total_points
+            * self.spec.stencil_point_time
+            * self._halo_factor(job.grid.shape)
+        )
+
+    def _decomposition(self, job: FDJob, approach: Approach, n_cores: int) -> Decomposition:
+        return Decomposition(job.grid, approach.domains_for(n_cores))
+
+    def _mesh_factor(self, n_cores: int, decomp: Decomposition, dim: int) -> float:
+        """Extra per-link load when periodic wraps cross an open mesh.
+
+        Both planes assume a cyclic (folded) domain placement, which
+        embeds periodic rings into a mesh with wrap traffic balanced onto
+        the reverse-direction links — so no extra per-link load.  The hook
+        is kept so alternative (naive) placements can be modelled.
+        """
+        return 1.0
+
+    def _round_comm_time(
+        self,
+        decomp: Decomposition,
+        n_cores: int,
+        batch: int,
+        streams_per_link: int,
+        lock_calls: int,
+    ) -> float:
+        """Time for one pipeline round's exchange on the critical link.
+
+        ``streams_per_link`` messages of ``batch`` grids' slabs share each
+        direction's link; the slowest direction bounds the round (all six
+        links run simultaneously — the section V optimization).
+        """
+        torus = self.spec.torus
+        t_lock = self.spec.threads.mpi_multiple_overhead * lock_calls
+        worst = 0.0
+        for dim in range(3):
+            s = decomp.send_bytes(0, dim, +1, self._halo_width(decomp)) * batch
+            if s == 0:
+                continue
+            factor = self._mesh_factor(n_cores, decomp, dim)
+            t = streams_per_link * (torus.message_overhead + factor * s / torus.effective_bandwidth)
+            worst = max(worst, t)
+        return worst + t_lock
+
+    @staticmethod
+    def _halo_width(decomp: Decomposition) -> int:
+        # The paper's stencil radius; grids carry no radius, the FD op does.
+        return 2
+
+    def _count_messages(self, decomp: Decomposition) -> int:
+        """Remote messages per domain per (unbatched) exchange."""
+        w = self._halo_width(decomp)
+        return sum(
+            1
+            for dim in range(3)
+            for step in (+1, -1)
+            if decomp.send_bytes(0, dim, step, w) > 0
+        )
+
+    # -- the four approaches ---------------------------------------------------
+    def evaluate(
+        self,
+        job: FDJob,
+        approach: Approach,
+        n_cores: int,
+        batch_size: int = 1,
+        ramp_up: bool = False,
+    ) -> FDTiming:
+        """Predict one FD invocation's timing."""
+        check_positive_int(n_cores, "n_cores")
+        check_positive_int(batch_size, "batch_size")
+        if not approach.supports_batching and batch_size != 1:
+            raise ValueError(f"{approach.name} does not support batching")
+        decomp = self._decomposition(job, approach, n_cores)
+        w = self._halo_width(decomp)
+        t_point = self._point_time(decomp)
+        t_point_base = self.spec.stencil_point_time
+        block_points = decomp.max_block_points()
+        threads = min(4, n_cores) if approach.is_hybrid else 1
+        ranks_per_node = min(4, n_cores) if not approach.is_hybrid else 1
+        G = job.n_grids
+
+        msg_bytes = max(
+            (decomp.send_bytes(0, dim, +1, w) for dim in range(3)), default=0
+        )
+        n_dirs = self._count_messages(decomp)
+
+        if approach.serialized_exchange:
+            return self._evaluate_original(
+                job, approach, n_cores, decomp, ranks_per_node
+            )
+
+        # ---- optimized approaches: build per-round comm/comp sequences ----
+        spawn_join = (
+            self.spec.threads.spawn_time + self.spec.threads.join_time
+            if approach.is_hybrid
+            else 0.0
+        )
+        ideal_per_core = job.total_points / n_cores * t_point_base
+        # CPU cost of entering the MPI library: every send/recv/wait call
+        # burns core time; MULTIPLE-mode calls additionally queue on the
+        # rank's lock behind the other threads.  This is the cost batching
+        # amortizes (one call moves a whole batch).
+        calls_per_round = 2 * n_dirs + 1
+        call_cpu = self.spec.threads.mpi_call_cpu_time
+        if approach.thread_mode.pays_lock_overhead:
+            call_cpu += threads * self.spec.threads.mpi_multiple_overhead
+        round_call_cpu = calls_per_round * call_cpu
+        if approach.sync_per_grid:
+            # Hybrid master-only: batches of whole grids; 4 cores split each
+            # grid (so each thread streams a quarter block plus its halo —
+            # a deeper small-block penalty); a thread barrier after every
+            # grid.
+            quarter = list(decomp.block_shape(0))
+            axis = quarter.index(max(quarter))
+            quarter[axis] = max(1, math.ceil(quarter[axis] / threads))
+            t_quarter = t_point_base * self._halo_factor(quarter)
+            batches = batch_schedule(G, batch_size, ramp_up)
+            comp = [
+                len(b)
+                * (
+                    block_points / threads * t_quarter
+                    + self.spec.threads.barrier_time
+                )
+                for b in batches
+            ]
+            # The master thread pays the per-call CPU cost on the comm path.
+            comm = [
+                self._round_comm_time(decomp, n_cores, len(b), 1, 0)
+                + round_call_cpu
+                for b in batches
+            ]
+            sync = G * self.spec.threads.barrier_time + spawn_join
+        elif approach.is_hybrid:
+            # Hybrid multiple: whole grids dealt to 4 threads, each thread
+            # pipelines its own batches; per round all threads exchange one
+            # batch each (streams_per_link = threads).  Each thread burns
+            # per-call CPU (with lock queueing) before its compute.
+            grids_per_thread = math.ceil(G / threads)
+            batches = batch_schedule(grids_per_thread, batch_size, ramp_up)
+            comp = [
+                len(b) * block_points * t_point + round_call_cpu for b in batches
+            ]
+            comm = [
+                self._round_comm_time(decomp, n_cores, len(b), threads, 0)
+                for b in batches
+            ]
+            sync = spawn_join + len(batches) * calls_per_round * threads * (
+                self.spec.threads.mpi_multiple_overhead
+            )
+        elif not approach.decompose_per_rank:
+            # Flat sub-groups (section VII-A): hybrid multiple's structure
+            # with virtual-node ranks — node-level decomposition, whole
+            # grids dealt to the node's four ranks, no thread costs.
+            workers = min(4, n_cores)
+            grids_per_rank = math.ceil(G / workers)
+            batches = batch_schedule(grids_per_rank, batch_size, ramp_up)
+            comp = [
+                len(b) * block_points * t_point + round_call_cpu for b in batches
+            ]
+            comm = [
+                self._round_comm_time(decomp, n_cores, len(b), workers, 0)
+                for b in batches
+            ]
+            sync = 0.0
+        else:
+            # Flat optimized: every rank owns all G grids of its block; the
+            # node's 4 ranks share each link (streams_per_link = 4).
+            batches = batch_schedule(G, batch_size, ramp_up)
+            comp = [
+                len(b) * block_points * t_point + round_call_cpu for b in batches
+            ]
+            comm = [
+                self._round_comm_time(decomp, n_cores, len(b), ranks_per_node, 0)
+                for b in batches
+            ]
+            sync = 0.0
+
+        total = _pipeline_time(comm, comp) + spawn_join
+        compute_per_core = sum(comp)
+        exposed = total - spawn_join - compute_per_core
+        msgs_per_rank = n_dirs * len(batches) * (1 if not approach.is_hybrid else threads)
+
+        return FDTiming(
+            approach_name=approach.name,
+            n_cores=n_cores,
+            batch_size=batch_size,
+            total=total,
+            compute=compute_per_core,
+            compute_ideal=ideal_per_core,
+            comm_exposed=max(0.0, exposed),
+            sync=sync,
+            comm_bytes_per_node=self._comm_per_node(decomp, approach, n_cores, G),
+            messages_per_rank=msgs_per_rank,
+            message_bytes=msg_bytes,
+        )
+
+    def _evaluate_original(
+        self,
+        job: FDJob,
+        approach: Approach,
+        n_cores: int,
+        decomp: Decomposition,
+        ranks_per_node: int,
+    ) -> FDTiming:
+        """Flat original: serialized blocking exchange, zero overlap.
+
+        The original code exchanges one dimension at a time with blocking
+        calls and, within a dimension, completes the +direction transfer
+        before the -direction one (a blocking send/receive pair per side,
+        with no DMA-driven overlap between them) — hence the factor two on
+        each dimension's time.
+
+        Unlike the optimized schedules, the node's four virtual-mode ranks
+        do *not* contend on the shared links here: the blocking pattern
+        self-staggers them, so each link carries at most one in-flight
+        message (the behaviour implied by the paper's measured 36%
+        utilization at 16384 cores — see DESIGN.md section 5).
+        """
+        torus = self.spec.torus
+        w = self._halo_width(decomp)
+        t_point = self._point_time(decomp)
+        block_points = decomp.max_block_points()
+        G = job.n_grids
+
+        comm_per_grid = 0.0
+        for dim in range(3):
+            s = decomp.send_bytes(0, dim, +1, w)
+            if s == 0:
+                continue
+            factor = self._mesh_factor(n_cores, decomp, dim)
+            # 2x: the +/- directions serialize; 2L: a blocking exchange pays
+            # both the send- and the receive-side software overhead (nothing
+            # is hidden behind the DMA engine in the original code).
+            comm_per_grid += 2 * (
+                2 * torus.message_overhead + factor * s / torus.effective_bandwidth
+            )
+        compute = G * block_points * t_point
+        comm = G * comm_per_grid
+        total = compute + comm
+        return FDTiming(
+            approach_name=approach.name,
+            n_cores=n_cores,
+            batch_size=1,
+            total=total,
+            compute=compute,
+            compute_ideal=job.total_points / n_cores * self.spec.stencil_point_time,
+            comm_exposed=comm,
+            sync=0.0,
+            comm_bytes_per_node=self._comm_per_node(decomp, approach, n_cores, G),
+            messages_per_rank=self._count_messages(decomp) * G,
+            message_bytes=max(
+                (decomp.send_bytes(0, dim, +1, w) for dim in range(3)), default=0
+            ),
+        )
+
+    def _comm_per_node(
+        self, decomp: Decomposition, approach: Approach, n_cores: int, n_grids: int
+    ) -> float:
+        """Inter-node bytes sent per node per invocation (Fig 6)."""
+        w = self._halo_width(decomp)
+        per_domain = decomp.comm_bytes(0, w) * n_grids
+        if not approach.decompose_per_rank:
+            # node-level decomposition (hybrid modes, flat sub-groups):
+            # the node's traffic is one domain's surface over all grids
+            return float(per_domain)
+        return float(per_domain * (min(4, n_cores) if n_cores >= 4 else n_cores))
+
+    # -- batch-size search -------------------------------------------------------
+    def best_batch_size(
+        self,
+        job: FDJob,
+        approach: Approach,
+        n_cores: int,
+        candidates: Optional[Sequence[int]] = None,
+        ramp_up: bool = False,
+    ) -> FDTiming:
+        """The fastest timing over candidate batch sizes.
+
+        The paper finds "the best batch-size" per configuration (Figs 6, 7);
+        default candidates are powers of two up to the grids available per
+        compute unit.
+        """
+        if not approach.supports_batching:
+            return self.evaluate(job, approach, n_cores, 1)
+        if candidates is None:
+            per_unit = job.n_grids
+            if approach.is_hybrid and not approach.sync_per_grid:
+                per_unit = max(1, job.n_grids // min(4, n_cores))
+            candidates = [1]
+            while candidates[-1] * 2 <= per_unit:
+                candidates.append(candidates[-1] * 2)
+        best: Optional[FDTiming] = None
+        for b in candidates:
+            t = self.evaluate(job, approach, n_cores, b, ramp_up=ramp_up)
+            if best is None or t.total < best.total:
+                best = t
+        assert best is not None
+        return best

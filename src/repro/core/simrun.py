@@ -1,0 +1,417 @@
+"""Message-level simulation of the FD schedules on the DES machine.
+
+Where :mod:`repro.core.perfmodel` is closed-form, this module *executes*
+the four schedules: every rank (or hybrid thread) is a DES process issuing
+simulated-MPI calls and core computations, with exact link contention and
+lock serialization.  It is exact but O(ranks x grids x messages) in events,
+so it is meant for small configurations — the test suite uses it to
+validate the analytic model, which then extrapolates to paper scale.
+
+Domain placement
+----------------
+
+Flat (virtual-node) ranks are placed *cyclically*: domain coordinates are
+taken modulo the node grid, so neighbouring domains always sit on
+neighbouring (or the same-distance) nodes and — matching the paper's
+measured per-node communication — no FD neighbours share a node.  When the
+domain grid is not component-wise divisible by the node grid, a spread
+mapping (round-robin over nodes) is used instead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.core.approaches import Approach
+from repro.core.batching import batch_schedule, split_among_workers
+from repro.core.perfmodel import FDJob
+from repro.des.core import Event
+from repro.des.trace import Tracer
+from repro.grid.decompose import Decomposition
+from repro.machine.machine import Machine
+from repro.machine.partition import NodeMode
+from repro.machine.spec import BGP_SPEC, MachineSpec
+from repro.smpi.comm import RankContext, SimComm
+from repro.util.validation import check_positive_int
+
+Proc = Generator[Event, object, None]
+
+HALO_WIDTH = 2  # the paper's stencil radius
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated FD invocation."""
+
+    approach_name: str
+    n_cores: int
+    batch_size: int
+    total: float
+    utilization: float
+    comm_bytes_per_node: float
+    messages: int
+    #: activity trace (compute spans per core, transfers per link); only
+    #: populated when ``simulate_fd(..., trace=True)``
+    trace: Optional[Tracer] = None
+
+
+def _node_mode_for(approach: Approach, n_cores: int) -> tuple[NodeMode, int]:
+    """(node mode, node count) realizing ``n_cores`` for an approach."""
+    if n_cores >= 4:
+        if n_cores % 4:
+            raise ValueError(f"n_cores must be 1, 2 or a multiple of 4, got {n_cores}")
+        n_nodes = n_cores // 4
+        mode = NodeMode.SMP if approach.is_hybrid else NodeMode.VN
+    elif n_cores == 2:
+        n_nodes, mode = 1, (NodeMode.SMP if approach.is_hybrid else NodeMode.DUAL)
+    elif n_cores == 1:
+        n_nodes, mode = 1, NodeMode.SMP
+    else:
+        raise ValueError(f"n_cores must be >= 1, got {n_cores}")
+    return mode, n_nodes
+
+
+def _domain_to_rank(
+    decomp: Decomposition, machine: Machine, placement: str = "auto"
+) -> list[int]:
+    """Place domains on ranks.
+
+    ``cyclic`` folds domain coordinates modulo the node grid — every FD
+    neighbour pair lands on adjacent nodes and wrap traffic balances onto
+    reverse links (the placement a tuned BG/P mapfile achieves).
+    ``spread`` deals domains round-robin over nodes — a naive placement
+    whose neighbours can be many hops apart; kept for the placement
+    ablation.  ``auto`` uses cyclic when the domain grid divides the node
+    grid component-wise, else spread.
+    """
+    if placement not in ("auto", "cyclic", "spread"):
+        raise ValueError(
+            f"placement must be 'auto', 'cyclic' or 'spread', got {placement!r}"
+        )
+    n_nodes = machine.n_nodes
+    rpn = machine.mode.ranks_per_node
+    dshape = decomp.domains_shape
+    nshape = machine.partition.shape
+    divisible = (
+        all(d % n == 0 for d, n in zip(dshape, nshape))
+        and decomp.n_domains == n_nodes * rpn
+    )
+    if placement == "cyclic" and not divisible:
+        raise ValueError(
+            f"cyclic placement needs the domain grid {dshape} to divide the "
+            f"node grid {nshape} component-wise"
+        )
+    cyclic = divisible if placement == "auto" else placement == "cyclic"
+    mapping: list[int] = [0] * decomp.n_domains
+    slots = [0] * n_nodes
+    for domain in range(decomp.n_domains):
+        if cyclic:
+            c = decomp.coords_of(domain)
+            node = machine.topology.node_at(tuple(ci % ni for ci, ni in zip(c, nshape)))
+        else:
+            node = domain % n_nodes
+        slot = slots[node]
+        if slot >= rpn:
+            raise ValueError(
+                f"placement overflow: node {node} already has {rpn} ranks "
+                f"(domains {decomp.n_domains}, nodes {n_nodes})"
+            )
+        slots[node] = slot + 1
+        mapping[domain] = node * rpn + slot
+    return mapping
+
+
+class _FDSimulation:
+    """Shared state of one simulated invocation."""
+
+    def __init__(
+        self,
+        job: FDJob,
+        approach: Approach,
+        n_cores: int,
+        batch_size: int,
+        ramp_up: bool,
+        spec: MachineSpec,
+        placement: str = "auto",
+        trace: bool = False,
+    ) -> None:
+        check_positive_int(n_cores, "n_cores")
+        check_positive_int(batch_size, "batch_size")
+        if not approach.supports_batching and batch_size != 1:
+            raise ValueError(f"{approach.name} does not support batching")
+        self.job = job
+        self.approach = approach
+        self.n_cores = n_cores
+        self.batch_size = batch_size
+        self.ramp_up = ramp_up
+        self.spec = spec
+        mode, n_nodes = _node_mode_for(approach, n_cores)
+        self.tracer = Tracer() if trace else None
+        self.machine = Machine(n_nodes, mode, spec, tracer=self.tracer)
+        self.comm = SimComm(self.machine, approach.thread_mode)
+        self.decomp = Decomposition(job.grid, approach.domains_for(n_cores))
+        if self.decomp.n_domains != self.comm.size and approach.is_hybrid:
+            # hybrid: one domain per node; ranks == nodes in SMP mode.
+            assert self.decomp.n_domains == n_nodes
+        self.rank_of_domain = _domain_to_rank(self.decomp, self.machine, placement)
+        self.block_points = self.decomp.max_block_points()
+        # Small-block halo penalty, identical to the analytic model's.
+        def halo_point_time(shape: list[int]) -> float:
+            padded = math.prod(b + 2 * HALO_WIDTH for b in shape)
+            factor = (padded / math.prod(shape)) ** spec.halo_compute_exponent
+            return spec.stencil_point_time * factor
+
+        block = list(self.decomp.block_shape(0))
+        self.t_point = halo_point_time(block)
+        # master-only threads each stream a quarter block plus its halo
+        threads = min(4, n_cores)
+        quarter = list(block)
+        axis = quarter.index(max(quarter))
+        quarter[axis] = max(1, math.ceil(quarter[axis] / threads))
+        self.t_point_quarter = halo_point_time(quarter)
+        # remote directions: (dim, step, dst_domain, nbytes)
+        self.directions: dict[int, list[tuple[int, int, int, int]]] = {}
+
+    def remote_dirs(self, domain: int) -> list[tuple[int, int, int, int]]:
+        """Outgoing remote (dim, step, dst_domain, bytes) for a domain."""
+        if domain not in self.directions:
+            dirs = []
+            for dim in range(3):
+                for step in (+1, -1):
+                    nbytes = self.decomp.send_bytes(domain, dim, step, HALO_WIDTH)
+                    if nbytes > 0:
+                        dirs.append(
+                            (dim, step, self.decomp.neighbor(domain, dim, step), nbytes)
+                        )
+            self.directions[domain] = dirs
+        return self.directions[domain]
+
+    @staticmethod
+    def _dirtag(dim: int, step: int) -> int:
+        return dim * 2 + (0 if step > 0 else 1)
+
+    def _tag(self, seq: int, dim: int, step: int) -> int:
+        return seq * 8 + self._dirtag(dim, step)
+
+    # -- schedule fragments ---------------------------------------------------
+    def _call_cpu_seconds(self, domain: int) -> float:
+        """CPU burned by one round's MPI calls (sends + recvs + waitall)."""
+        calls = 2 * len(self.remote_dirs(domain)) + 1
+        return calls * self.spec.threads.mpi_call_cpu_time
+
+    def _start_exchange(
+        self, ctx: RankContext, domain: int, n_grids: int, seq: int, slot: int = 0
+    ) -> Proc:
+        """Initiate a batch exchange; returns the recv requests to wait on.
+
+        ``slot`` offsets the peer rank within its node — the flat
+        sub-groups variant runs four ranks per node-level domain, and each
+        slot exchanges with the *same* slot on the neighbouring node.
+        """
+        recvs = []
+        for dim, step, dst, nbytes in self.remote_dirs(domain):
+            yield from ctx.isend(
+                self.rank_of_domain[dst] + slot,
+                nbytes * n_grids,
+                self._tag(seq, dim, step),
+            )
+        for dim, step, _, nbytes in self.remote_dirs(domain):
+            src = self.decomp.neighbor(domain, dim, -step)
+            assert src is not None
+            req = yield from ctx.irecv(
+                self.rank_of_domain[src] + slot, self._tag(seq, dim, step)
+            )
+            recvs.append(req)
+        return recvs
+
+    def _compute(self, ctx: RankContext, n_grids: int, points: Optional[int] = None) -> Proc:
+        points = self.block_points if points is None else points
+        yield from ctx.compute(n_grids * points * self.t_point)
+
+    # -- per-approach rank/thread programs -----------------------------------
+    def flat_original_rank(self, ctx: RankContext, domain: int) -> Proc:
+        """Serialized per-dimension blocking exchange, grid by grid.
+
+        Within a dimension the two directions are blocking send/receive
+        pairs executed one after the other (the original code has no
+        DMA-driven overlap), mirroring the analytic model's factor two.
+        """
+        for gid in range(self.job.n_grids):
+            for dim in range(3):
+                dirs = [d for d in self.remote_dirs(domain) if d[0] == dim]
+                for _, step, dst, nbytes in dirs:
+                    yield from ctx.isend(
+                        self.rank_of_domain[dst], nbytes, self._tag(gid, dim, step)
+                    )
+                    src = self.decomp.neighbor(domain, dim, -step)
+                    assert src is not None
+                    req = yield from ctx.irecv(
+                        self.rank_of_domain[src], self._tag(gid, dim, step)
+                    )
+                    yield from ctx.wait(req)
+            yield from self._compute(ctx, 1)
+
+    def pipelined_rank(
+        self,
+        ctx: RankContext,
+        domain: int,
+        grid_ids: list[int],
+        seq_base: int,
+        slot: int = 0,
+    ) -> Proc:
+        """Double-buffered batch pipeline (flat optimized / one hybrid thread)."""
+        if not grid_ids:
+            return
+        batches = batch_schedule(len(grid_ids), self.batch_size, self.ramp_up)
+        call_cpu = self._call_cpu_seconds(domain)
+        pending: Optional[tuple[list, int]] = None
+        for i, batch in enumerate(batches):
+            if call_cpu:
+                yield from ctx.compute(call_cpu)
+            reqs = yield from self._start_exchange(
+                ctx, domain, len(batch), seq_base + i, slot
+            )
+            if pending is not None:
+                prev_reqs, prev_n = pending
+                if prev_reqs:
+                    yield from ctx.waitall(prev_reqs)
+                yield from self._compute(ctx, prev_n)
+            pending = (reqs, len(batch))
+        prev_reqs, prev_n = pending  # type: ignore[misc]
+        if prev_reqs:
+            yield from ctx.waitall(prev_reqs)
+        yield from self._compute(ctx, prev_n)
+
+    def master_only_node(self, ctx: RankContext, domain: int) -> Proc:
+        """Master thread exchanges; four cores split each grid; per-grid barrier."""
+        threads = min(4, self.n_cores)
+        spawn = self.spec.threads.spawn_time
+        join = self.spec.threads.join_time
+        barrier = self.spec.threads.barrier_time
+        yield ctx.sim.timeout(spawn)
+        batches = batch_schedule(self.job.n_grids, self.batch_size, self.ramp_up)
+        call_cpu = self._call_cpu_seconds(domain)
+        pending: Optional[tuple[list, int]] = None
+        for i, batch in enumerate(batches):
+            if call_cpu:
+                yield from ctx.compute(call_cpu)
+            reqs = yield from self._start_exchange(ctx, domain, len(batch), i)
+            if pending is not None:
+                yield from self._master_compute(ctx, pending, threads, barrier)
+            pending = (reqs, len(batch))
+        yield from self._master_compute(ctx, pending, threads, barrier)  # type: ignore[arg-type]
+        yield ctx.sim.timeout(join)
+
+    def _master_compute(
+        self, ctx: RankContext, pending: tuple[list, int], threads: int, barrier: float
+    ) -> Proc:
+        reqs, n_grids = pending
+        if reqs:
+            yield from ctx.waitall(reqs)
+        per_thread_points = math.ceil(self.block_points / threads)
+        for _ in range(n_grids):
+            workers = [
+                ctx.sim.spawn(
+                    ctx.on_core(t).compute(per_thread_points * self.t_point_quarter),
+                    name=f"mo-compute-core{t}",
+                )
+                for t in range(threads)
+            ]
+            yield ctx.sim.all_of(workers)
+            yield ctx.sim.timeout(barrier)
+
+    def hybrid_multiple_node(self, ctx: RankContext, domain: int) -> Proc:
+        """Four threads, each communicating for its own whole grids."""
+        threads = min(4, self.n_cores)
+        yield ctx.sim.timeout(self.spec.threads.spawn_time)
+        groups = split_among_workers(list(range(self.job.n_grids)), threads)
+        seq_stride = max(1, math.ceil(self.job.n_grids / self.batch_size) + 2)
+        workers = [
+            ctx.sim.spawn(
+                self.pipelined_rank(
+                    ctx.on_core(t), domain, groups[t], seq_base=t * seq_stride
+                ),
+                name=f"hm-thread{t}",
+            )
+            for t in range(threads)
+            if groups[t]
+        ]
+        yield ctx.sim.all_of(workers)
+        yield ctx.sim.timeout(self.spec.threads.join_time)
+
+    # -- orchestration --------------------------------------------------------
+    def run(self) -> SimResult:
+        for domain in range(self.decomp.n_domains):
+            rank = self.rank_of_domain[domain]
+            ctx = self.comm.context(rank)
+            if self.approach.serialized_exchange:
+                progs = [self.flat_original_rank(ctx, domain)]
+            elif self.approach.sync_per_grid:
+                progs = [self.master_only_node(ctx, domain)]
+            elif self.approach.is_hybrid:
+                progs = [self.hybrid_multiple_node(ctx, domain)]
+            elif not self.approach.decompose_per_rank:
+                # flat sub-groups (section VII-A): the node's four ranks
+                # each pipeline their own grid sub-group on the shared
+                # node-level domain.
+                workers = min(4, self.n_cores)
+                groups = split_among_workers(
+                    list(range(self.job.n_grids)), workers
+                )
+                stride = max(1, math.ceil(self.job.n_grids / self.batch_size) + 2)
+                progs = [
+                    self.pipelined_rank(
+                        self.comm.context(rank + slot),
+                        domain,
+                        groups[slot],
+                        seq_base=slot * stride,
+                        slot=slot,
+                    )
+                    for slot in range(workers)
+                    if groups[slot]
+                ]
+            else:
+                progs = [
+                    self.pipelined_rank(
+                        ctx, domain, list(range(self.job.n_grids)), seq_base=0
+                    )
+                ]
+            for k, prog in enumerate(progs):
+                self.machine.sim.spawn(
+                    prog, name=f"{self.approach.name}-d{domain}.{k}"
+                )
+        total = self.machine.sim.run()
+        inter_bytes = sum(self.machine.torus.bytes_sent.values())
+        return SimResult(
+            approach_name=self.approach.name,
+            n_cores=self.n_cores,
+            batch_size=self.batch_size,
+            total=total,
+            utilization=self.machine.utilization(total),
+            comm_bytes_per_node=inter_bytes / self.machine.n_nodes,
+            messages=self.comm.messages_sent,
+            trace=self.tracer,
+        )
+
+
+def simulate_fd(
+    job: FDJob,
+    approach: Approach,
+    n_cores: int,
+    batch_size: int = 1,
+    ramp_up: bool = False,
+    spec: MachineSpec = BGP_SPEC,
+    placement: str = "auto",
+    trace: bool = False,
+) -> SimResult:
+    """Simulate one FD invocation at message level on the DES machine.
+
+    Exact but event-heavy: intended for <= a few hundred cores and a few
+    hundred grids.  For paper-scale configurations use
+    :class:`~repro.core.perfmodel.PerformanceModel`.
+    """
+    return _FDSimulation(
+        job, approach, n_cores, batch_size, ramp_up, spec, placement, trace
+    ).run()

@@ -1,0 +1,110 @@
+"""Counted resources and FIFO stores for the DES kernel.
+
+``Resource`` models contention (a torus link, a DMA engine, a lock):
+processes ``yield res.acquire()`` and must ``release()`` when done.
+``Store`` models mailboxes: ``put`` never blocks, ``yield store.get()``
+blocks until an item is available.  Both hand out items in strict FIFO
+order, which keeps simulated message traces deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.des.core import Event, SimulationError, Simulator
+
+
+class Resource:
+    """A counted FIFO resource with ``capacity`` concurrent holders."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently-held slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of acquire requests waiting for a slot."""
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Return an event that fires when a slot is granted to the caller."""
+        ev = self.sim.event(name=f"acquire({self.name})")
+        if self._in_use < self.capacity and not self._waiters:
+            self._in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Release one held slot, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release() on idle resource {self.name!r}")
+        if self._waiters:
+            # Hand the slot directly to the next waiter; _in_use is unchanged.
+            self._waiters.popleft().succeed(self)
+        else:
+            self._in_use -= 1
+
+    def use(self, duration: float):
+        """Process helper: hold one slot for ``duration`` seconds.
+
+        Usage inside a process::
+
+            yield from link.use(transfer_time)
+        """
+        yield self.acquire()
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release()
+
+
+class Store:
+    """An unbounded FIFO of items with blocking ``get``.
+
+    Items put while getters wait are handed over immediately (at the current
+    simulation time); otherwise they queue.
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the oldest waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        ev = self.sim.event(name=f"get({self.name})")
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get: the next item, or None if the store is empty."""
+        if self._items:
+            return self._items.popleft()
+        return None

@@ -1,0 +1,42 @@
+"""Electron density from occupied states."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.grid import GridDescriptor
+
+
+def density_from_states(
+    grid: GridDescriptor,
+    states: np.ndarray,
+    occupations: np.ndarray | list[float] | None = None,
+) -> np.ndarray:
+    """``rho(r) = sum_n f_n |psi_n(r)|^2``.
+
+    ``occupations`` defaults to 2 per band (closed-shell filling).  The
+    result is real regardless of wave-function dtype.
+    """
+    if states.ndim != 4 or states.shape[1:] != grid.shape:
+        raise ValueError(
+            f"states must be (bands, {grid.shape}); got {states.shape}"
+        )
+    n_bands = states.shape[0]
+    if occupations is None:
+        occ = np.full(n_bands, 2.0)
+    else:
+        occ = np.asarray(occupations, dtype=float)
+        if occ.shape != (n_bands,):
+            raise ValueError(
+                f"occupations must have shape ({n_bands},), got {occ.shape}"
+            )
+        if np.any(occ < 0):
+            raise ValueError("occupations must be non-negative")
+    rho = np.einsum("n,nxyz->xyz", occ, np.abs(states) ** 2)
+    return rho.astype(np.float64)
+
+
+def total_charge(grid: GridDescriptor, rho: np.ndarray) -> float:
+    """Integral of the density over the grid."""
+    grid.check_array(rho.astype(grid.dtype) if rho.dtype != grid.dtype else rho, "rho")
+    return float(rho.sum() * grid.spacing ** 3)

@@ -1,0 +1,130 @@
+"""Redistribution of a distributed grid between two decompositions.
+
+GPAW does not keep one layout forever: the FD operation wants compact 3D
+blocks, dense linear algebra (ScaLAPACK) wants 2D-cyclic matrices, and
+restart files want slabs.  The bridge is a redistribution: every rank
+intersects its old block with every new block, ships the intersections,
+and assembles its new block.
+
+The implementation is geometry-first: :func:`transfer_plan` computes the
+exact set of (source rank, destination rank, global-slab) triples — a
+pure function that tests can verify tiles the grid — and
+:func:`redistribute` executes a plan over the in-process transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grid.array import LocalGrid
+from repro.grid.decompose import Decomposition
+from repro.grid.halo import HaloSpec
+from repro.transport.inproc import RankEndpoint
+
+Slices3 = tuple[slice, slice, slice]
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One piece of a redistribution: a global-coordinate slab moving
+    from ``src`` (old layout) to ``dst`` (new layout)."""
+
+    src: int
+    dst: int
+    global_slices: Slices3
+
+    @property
+    def n_points(self) -> int:
+        return int(
+            np.prod([s.stop - s.start for s in self.global_slices])
+        )
+
+
+def _intersect(a: Slices3, b: Slices3) -> Slices3 | None:
+    out = []
+    for sa, sb in zip(a, b):
+        lo, hi = max(sa.start, sb.start), min(sa.stop, sb.stop)
+        if lo >= hi:
+            return None
+        out.append(slice(lo, hi))
+    return tuple(out)  # type: ignore[return-value]
+
+
+def transfer_plan(old: Decomposition, new: Decomposition) -> list[Transfer]:
+    """All slabs that must move to turn layout ``old`` into ``new``.
+
+    Self-transfers (src == dst) are included — they are local copies the
+    executor performs without messages.
+    """
+    if old.grid.shape != new.grid.shape or old.grid.dtype != new.grid.dtype:
+        raise ValueError(
+            "redistribution requires identical grid descriptors; got "
+            f"{old.grid.shape}/{old.grid.dtype} vs {new.grid.shape}/{new.grid.dtype}"
+        )
+    plan: list[Transfer] = []
+    for src in range(old.n_domains):
+        src_slices = old.block_slices(src)
+        for dst in range(new.n_domains):
+            inter = _intersect(src_slices, new.block_slices(dst))
+            if inter is not None:
+                plan.append(Transfer(src=src, dst=dst, global_slices=inter))
+    return plan
+
+
+def _to_local(global_slices: Slices3, block_slices: Slices3, width: int) -> Slices3:
+    """Global slab -> slab in a block's padded local array."""
+    return tuple(  # type: ignore[return-value]
+        slice(g.start - b.start + width, g.stop - b.start + width)
+        for g, b in zip(global_slices, block_slices)
+    )
+
+
+def redistribute(
+    ep: RankEndpoint,
+    old_block: LocalGrid,
+    new_decomp: Decomposition,
+    halo: HaloSpec | None = None,
+    tag_base: int = 1 << 24,
+) -> LocalGrid:
+    """Execute a redistribution for this rank.
+
+    Every rank calls with its block under the *old* decomposition and
+    receives its block under ``new_decomp``.  Requires both layouts to
+    have one domain per transport rank.  Ghost shells of the result are
+    zero (run a halo exchange before stencilling).
+    """
+    old_decomp = old_block.decomp
+    if old_decomp.n_domains != ep.size or new_decomp.n_domains != ep.size:
+        raise ValueError(
+            f"both layouts must have {ep.size} domains; got "
+            f"{old_decomp.n_domains} and {new_decomp.n_domains}"
+        )
+    halo = old_block.halo if halo is None else halo
+    plan = transfer_plan(old_decomp, new_decomp)
+    me = ep.rank
+    w_old = old_block.halo.width
+    out = LocalGrid(new_decomp, me, halo)
+    w_new = halo.width
+
+    # send my outgoing slabs (deterministic plan order makes tags unique)
+    for i, t in enumerate(plan):
+        if t.src != me or t.dst == me:
+            continue
+        local = _to_local(t.global_slices, old_decomp.block_slices(me), w_old)
+        ep.isend(t.dst, old_block.data[local], tag=tag_base + i)
+    # local copies
+    for t in plan:
+        if t.src == me and t.dst == me:
+            src_local = _to_local(t.global_slices, old_decomp.block_slices(me), w_old)
+            dst_local = _to_local(t.global_slices, new_decomp.block_slices(me), w_new)
+            out.data[dst_local] = old_block.data[src_local]
+    # receive incoming slabs
+    for i, t in enumerate(plan):
+        if t.dst != me or t.src == me:
+            continue
+        payload = ep.recv(src=t.src, tag=tag_base + i)
+        dst_local = _to_local(t.global_slices, new_decomp.block_slices(me), w_new)
+        out.data[dst_local] = payload.reshape(out.data[dst_local].shape)
+    return out

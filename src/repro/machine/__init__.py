@@ -1,0 +1,53 @@
+"""Parameterised hardware model of a Blue Gene/P installation.
+
+Everything the paper's evaluation depends on is a number in
+:class:`~repro.machine.spec.MachineSpec` (Table I of the paper) or a rule in
+this package:
+
+* :mod:`repro.machine.spec` — node and network constants (Table I).
+* :mod:`repro.machine.partition` — partition shapes and the mesh-vs-torus
+  rule (torus topology only for partitions of >= 512 nodes), plus the three
+  node modes (SMP / DUAL / VN a.k.a. "virtual mode").
+* :mod:`repro.machine.torus` — the 3D torus point-to-point network as DES
+  resources with dimension-ordered routing.
+* :mod:`repro.machine.tree` — the collective tree network timing model.
+* :mod:`repro.machine.node` — a compute node: 4 cores + a DMA engine.
+* :mod:`repro.machine.machine` — ties nodes + networks into one `Machine`.
+"""
+
+from repro.machine.spec import (
+    BGP_SPEC,
+    CoreSpec,
+    MachineSpec,
+    NodeSpec,
+    TorusSpec,
+    TreeSpec,
+    table1_rows,
+)
+from repro.machine.partition import (
+    NodeMode,
+    Partition,
+    partition_shape,
+)
+from repro.machine.torus import TorusTopology, TorusNetwork
+from repro.machine.tree import TreeNetwork
+from repro.machine.node import Node
+from repro.machine.machine import Machine
+
+__all__ = [
+    "BGP_SPEC",
+    "CoreSpec",
+    "MachineSpec",
+    "NodeSpec",
+    "TorusSpec",
+    "TreeSpec",
+    "table1_rows",
+    "NodeMode",
+    "Partition",
+    "partition_shape",
+    "TorusTopology",
+    "TorusNetwork",
+    "TreeNetwork",
+    "Node",
+    "Machine",
+]

@@ -1,0 +1,44 @@
+"""The collective tree network (broadcast / reduce / barrier).
+
+BG/P routes MPI collectives over a dedicated tree-structured network and
+global barriers over a separate interrupt network, so collectives do not
+contend with the torus point-to-point traffic.  The model is therefore
+analytic: a pipelined traversal of the tree (depth x stage latency +
+payload streaming time), exposed both as a plain function and as a DES
+process for use inside simulated MPI.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.des import Simulator
+from repro.des.core import Event
+from repro.machine.spec import TreeSpec
+
+
+class TreeNetwork:
+    """DES wrapper over the analytic tree-collective timing model."""
+
+    #: time for a global barrier on the dedicated interrupt network —
+    #: near-constant on real hardware (~1.3 us)
+    BARRIER_TIME = 1.3e-6
+
+    def __init__(self, sim: Simulator, spec: TreeSpec, n_nodes: int) -> None:
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        self.sim = sim
+        self.spec = spec
+        self.n_nodes = n_nodes
+
+    def collective_time(self, nbytes: float) -> float:
+        """Analytic time of one broadcast/reduce of ``nbytes``."""
+        return self.spec.collective_time(nbytes, self.n_nodes)
+
+    def collective(self, nbytes: float) -> Generator[Event, object, None]:
+        """Process: one tree collective (all participants finish together)."""
+        yield self.sim.timeout(self.collective_time(nbytes))
+
+    def barrier(self) -> Generator[Event, object, None]:
+        """Process: one global barrier on the interrupt network."""
+        yield self.sim.timeout(self.BARRIER_TIME if self.n_nodes > 1 else 0.0)

@@ -1,0 +1,22 @@
+"""Network micro-benchmarks: the paper's message-size experiment (Fig 2).
+
+The paper motivates batching with a ping-pong experiment between two
+neighbouring nodes: bandwidth saturates only above ~10^5-byte messages and
+reaches half its asymptote near 10^3 bytes.  This package reproduces that
+experiment two ways — analytically from the latency-bandwidth model and
+measured on the DES machine — and asserts they coincide.
+"""
+
+from repro.netmodel.pingpong import (
+    BandwidthPoint,
+    analytic_bandwidth_curve,
+    measured_bandwidth_curve,
+    default_message_sizes,
+)
+
+__all__ = [
+    "BandwidthPoint",
+    "analytic_bandwidth_curve",
+    "measured_bandwidth_curve",
+    "default_message_sizes",
+]

@@ -1,0 +1,33 @@
+"""Simulated MPI over the DES Blue Gene/P machine.
+
+This package reproduces the MPI semantics the paper's optimizations rely
+on, at message granularity, on simulated time:
+
+* point-to-point: ``Send``/``Recv``/``Isend``/``Irecv``/``Wait``/``Waitall``
+  with (source, tag) matching — non-blocking operations progress via the
+  node's DMA engine without occupying a core (the property that makes
+  latency-hiding work on BG/P);
+* thread support levels: ``SINGLE`` vs ``MULTIPLE`` — in MULTIPLE every
+  call pays a lock overhead and contends on a per-rank lock (the cost the
+  paper weighs against the master-only approach);
+* ``MPI_Cart_create`` with BG/P's rank reordering: Cartesian neighbours
+  become physical torus neighbours (single-hop);
+* collectives and barriers routed over the dedicated tree network.
+
+The API is generator-based: rank code is a DES process yielding on the
+:class:`~repro.smpi.comm.RankContext` methods.
+"""
+
+from repro.smpi.datatypes import Message, Request, Status, ThreadMode
+from repro.smpi.comm import RankContext, SimComm
+from repro.smpi.cart import CartComm
+
+__all__ = [
+    "Message",
+    "Request",
+    "Status",
+    "ThreadMode",
+    "RankContext",
+    "SimComm",
+    "CartComm",
+]

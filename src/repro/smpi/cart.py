@@ -1,0 +1,109 @@
+"""Cartesian communicator with BG/P rank reordering (MPI_Cart_create).
+
+On BG/P, ``MPI_Cart_create`` with ``reorder=1`` maps the Cartesian process
+grid onto the physical torus so that grid neighbours are wired neighbours.
+The paper uses this in all experiments (section III-A).
+
+The simulated machine makes this easy: :class:`~repro.machine.partition.
+Partition` already exposes the physical rank grid (node grid, with
+virtual-node ranks extending Z), so the *default* Cartesian layout is the
+identity mapping onto it — Cartesian neighbours are then at most one
+physical hop apart, which tests assert.  Custom ``dims`` are accepted
+(their product must equal the communicator size) but may not be physical;
+the torus network still charges the true multi-hop routes, so a bad layout
+costs simulated time exactly as it would on the real machine.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.smpi.comm import SimComm
+from repro.util.validation import check_shape3
+
+
+class CartComm:
+    """A 3D Cartesian view of a :class:`~repro.smpi.comm.SimComm`."""
+
+    def __init__(
+        self,
+        comm: SimComm,
+        dims: Optional[Sequence[int]] = None,
+        periodic: tuple[bool, bool, bool] = (True, True, True),
+    ) -> None:
+        self.comm = comm
+        if dims is None:
+            dims = comm.machine.partition.rank_grid_shape
+        self.dims = check_shape3(dims, "dims")
+        if math.prod(self.dims) != comm.size:
+            raise ValueError(
+                f"dims {self.dims} do not cover the communicator "
+                f"(product {math.prod(self.dims)} != size {comm.size})"
+            )
+        self.periodic = tuple(bool(p) for p in periodic)
+
+    # -- coordinates ---------------------------------------------------------
+    def coords(self, rank: int) -> tuple[int, int, int]:
+        """Cartesian coordinates of ``rank`` (C order, x slowest)."""
+        if not 0 <= rank < self.comm.size:
+            raise ValueError(f"rank {rank} outside 0..{self.comm.size - 1}")
+        dx, dy, dz = self.dims
+        x, rem = divmod(rank, dy * dz)
+        y, z = divmod(rem, dz)
+        return (x, y, z)
+
+    def rank_at(self, coords: Sequence[int]) -> Optional[int]:
+        """Rank at ``coords``; wraps periodic dims, None off a wall."""
+        c = list(coords)
+        for d in range(3):
+            size = self.dims[d]
+            if self.periodic[d]:
+                c[d] %= size
+            elif not 0 <= c[d] < size:
+                return None
+        return (c[0] * self.dims[1] + c[1]) * self.dims[2] + c[2]
+
+    def shift(self, rank: int, dim: int, disp: int) -> tuple[Optional[int], Optional[int]]:
+        """MPI_Cart_shift: returns ``(source, dest)`` for a shift of ``disp``.
+
+        ``dest`` is the rank ``disp`` steps up dimension ``dim``; ``source``
+        is the rank the same distance down (the one whose shifted data ends
+        up here).  Either is None past a non-periodic wall (MPI_PROC_NULL).
+        """
+        if dim not in (0, 1, 2):
+            raise ValueError(f"dim must be 0, 1 or 2, got {dim}")
+        c = list(self.coords(rank))
+        up, down = list(c), list(c)
+        up[dim] += disp
+        down[dim] -= disp
+        return self.rank_at(down), self.rank_at(up)
+
+    def neighbors(self, rank: int) -> list[tuple[int, int, Optional[int]]]:
+        """All six (dim, step, neighbour-rank) entries for ``rank``."""
+        out = []
+        for dim in range(3):
+            for step in (+1, -1):
+                _, dst = self.shift(rank, dim, step)
+                out.append((dim, step, dst))
+        return out
+
+    # -- physical mapping quality ------------------------------------------------
+    def hops_to(self, rank: int, other: int) -> int:
+        """Physical torus hops between the *nodes* of two ranks."""
+        part = self.comm.machine.partition
+        topo = self.comm.machine.topology
+        return topo.hop_distance(part.node_of_rank(rank), part.node_of_rank(other))
+
+    def max_neighbor_hops(self) -> int:
+        """Worst physical distance of any Cartesian neighbour pair.
+
+        1 means the layout is perfectly embedded in the torus (what BG/P's
+        reordering achieves); larger values flag a non-physical layout.
+        """
+        worst = 0
+        for rank in range(self.comm.size):
+            for _, _, dst in self.neighbors(rank):
+                if dst is not None and dst != rank:
+                    worst = max(worst, self.hops_to(rank, dst))
+        return worst

@@ -1,0 +1,298 @@
+"""Simulated MPI communicator and per-rank call contexts.
+
+Execution model
+---------------
+
+Every MPI rank (and, in hybrid mode, every thread of a rank) is a DES
+process.  Rank code obtains a :class:`RankContext` and drives communication
+with ``yield from``::
+
+    def worker(ctx):
+        req = yield from ctx.irecv(src=left, tag=0)
+        yield from ctx.send(right, nbytes, tag=0)
+        status = yield from ctx.wait(req)
+        yield from ctx.compute(kernel_seconds)
+
+Semantics implemented:
+
+* **Non-blocking progress without CPU** — a transfer runs as its own DES
+  process on the torus/DMA; the initiating thread only pays the call
+  overhead.  This mirrors the paper's observation that BG/P's DMA engine
+  advances ``Isend``/``Irecv`` asynchronously.
+* **(source, tag) matching with wildcards** and FIFO non-overtaking per
+  ordered pair, via an unexpected-message queue and a posted-receive list.
+* **Thread modes** — in ``MULTIPLE`` every call acquires the rank's MPI
+  lock for :attr:`~repro.machine.spec.ThreadSpec.mpi_multiple_overhead`
+  seconds; concurrent calls from threads of one rank serialize on it.  In
+  ``SINGLE`` calls are free (their fixed cost is already inside the
+  network model's per-message overhead), but concurrent calls are a user
+  error that the communicator *detects* and reports.
+* **Collectives over the tree network** — barrier and allreduce wait for
+  all ranks, then pay the tree traversal once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, Optional
+
+from repro.des import Resource, Simulator
+from repro.des.core import Event, SimulationError
+from repro.machine.machine import Machine
+from repro.smpi.datatypes import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Message,
+    Request,
+    Status,
+    ThreadMode,
+)
+
+Proc = Generator[Event, Any, Any]
+
+
+class SimComm:
+    """A communicator spanning all ranks of a simulated machine."""
+
+    def __init__(self, machine: Machine, thread_mode: ThreadMode = ThreadMode.SINGLE):
+        self.machine = machine
+        self.thread_mode = thread_mode
+        self.size = machine.n_ranks
+        self._unexpected: dict[int, list[Message]] = {}
+        self._posted: dict[int, list[tuple[int, int, Request]]] = {}
+        self._locks: dict[int, Resource] = {}
+        self._in_call: dict[int, int] = {}  # concurrent-call detector (SINGLE)
+        # barrier / collective rendezvous state
+        self._coll_waiting: dict[str, list[Event]] = {}
+        self._coll_bytes: dict[str, float] = {}
+        self._coll_generation: dict[str, int] = {}
+        # accounting
+        self.messages_sent = 0
+        self.bytes_sent = 0.0
+
+    @property
+    def sim(self) -> Simulator:
+        return self.machine.sim
+
+    def context(self, rank: int, core: Optional[int] = None) -> "RankContext":
+        """A call context for ``rank``; ``core`` pins the computing core."""
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} outside 0..{self.size - 1}")
+        part = self.machine.partition
+        node = part.node_of_rank(rank)
+        if core is None:
+            core = part.core_slot_of_rank(rank) * part.mode.cores_per_rank
+        return RankContext(self, rank, node, core)
+
+    # -- internals ------------------------------------------------------------
+    def _lock(self, rank: int) -> Resource:
+        res = self._locks.get(rank)
+        if res is None:
+            res = Resource(self.sim, capacity=1, name=f"mpilock{rank}")
+            self._locks[rank] = res
+        return res
+
+    def _call_overhead(self, rank: int) -> Proc:
+        """The per-call cost of entering the MPI library from one thread."""
+        if self.thread_mode.pays_lock_overhead:
+            yield from self._lock(rank).use(
+                self.machine.spec.threads.mpi_multiple_overhead
+            )
+        else:
+            depth = self._in_call.get(rank, 0)
+            if depth and not self.thread_mode.allows_concurrent_calls:
+                raise SimulationError(
+                    f"concurrent MPI calls from rank {rank} in "
+                    f"{self.thread_mode.value!r} mode; use ThreadMode.MULTIPLE"
+                )
+            self._in_call[rank] = depth + 1
+            try:
+                yield self.sim.timeout(0.0)
+            finally:
+                self._in_call[rank] = self._in_call.get(rank, 1) - 1
+
+    def _deliver(self, msg: Message) -> None:
+        """Payload physically arrived: match a posted recv or queue it."""
+        posted = self._posted.get(msg.dst, [])
+        for i, (src, tag, req) in enumerate(posted):
+            if msg.matches(src, tag):
+                posted.pop(i)
+                self._complete_recv(req, msg)
+                return
+        self._unexpected.setdefault(msg.dst, []).append(msg)
+
+    @staticmethod
+    def _complete_recv(req: Request, msg: Message) -> None:
+        req.status.source = msg.src
+        req.status.tag = msg.tag
+        req.status.nbytes = msg.nbytes
+        req.event.succeed(msg.payload)
+
+    def _transfer_and_deliver(self, msg: Message) -> Proc:
+        src_node = self.machine.partition.node_of_rank(msg.src)
+        dst_node = self.machine.partition.node_of_rank(msg.dst)
+        yield from self.machine.transfer(src_node, dst_node, msg.nbytes)
+        self.messages_sent += 1
+        self.bytes_sent += msg.nbytes
+        self._deliver(msg)
+
+    # -- collective rendezvous ---------------------------------------------
+    def _rendezvous(self, name: str, rank: int, nbytes: float) -> Proc:
+        """Wait until all ranks enter collective ``name``; last one pays tree."""
+        key = f"{name}:{self._coll_generation.get(name, 0)}"
+        waiting = self._coll_waiting.setdefault(key, [])
+        self._coll_bytes[key] = max(self._coll_bytes.get(key, 0.0), nbytes)
+        ev = self.sim.event(name=f"{key}@{rank}")
+        waiting.append(ev)
+        if len(waiting) == self.size:
+            # Last arriver: advance the generation and schedule the release.
+            self._coll_generation[name] = self._coll_generation.get(name, 0) + 1
+            payload = self._coll_bytes.pop(key)
+            release = list(self._coll_waiting.pop(key))
+
+            def releaser() -> Proc:
+                if name == "barrier":
+                    yield from self.machine.tree.barrier()
+                else:
+                    yield from self.machine.tree.collective(payload)
+                for w in release:
+                    w.succeed(None)
+
+            self.sim.spawn(releaser(), name=f"release-{key}")
+        result = yield ev
+        return result
+
+
+class RankContext:
+    """MPI calls bound to one rank (and one computing core)."""
+
+    def __init__(self, comm: SimComm, rank: int, node: int, core: int):
+        self.comm = comm
+        self.rank = rank
+        self.node = node
+        self.core = core
+
+    @property
+    def sim(self) -> Simulator:
+        return self.comm.sim
+
+    def on_core(self, core: int) -> "RankContext":
+        """The same rank's context pinned to another core (hybrid threads)."""
+        return RankContext(self.comm, self.rank, self.node, core)
+
+    # -- point-to-point -------------------------------------------------------
+    def isend(
+        self, dst: int, nbytes: float, tag: int = 0, payload: Any = None
+    ) -> Generator[Event, Any, Request]:
+        """Start a non-blocking send; returns its :class:`Request`."""
+        if not 0 <= dst < self.comm.size:
+            raise ValueError(f"dst {dst} outside 0..{self.comm.size - 1}")
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        yield from self.comm._call_overhead(self.rank)
+        msg = Message(src=self.rank, dst=dst, tag=tag, nbytes=nbytes, payload=payload)
+        proc = self.sim.spawn(
+            self.comm._transfer_and_deliver(msg),
+            name=f"send {self.rank}->{dst} tag{tag}",
+        )
+        return Request(event=proc, kind="send")
+
+    def irecv(
+        self, src: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> Generator[Event, Any, Request]:
+        """Post a non-blocking receive; returns its :class:`Request`."""
+        yield from self.comm._call_overhead(self.rank)
+        req = Request(event=self.sim.event(f"recv@{self.rank}"), kind="recv")
+        queue = self.comm._unexpected.get(self.rank, [])
+        for i, msg in enumerate(queue):
+            if msg.matches(src, tag):
+                queue.pop(i)
+                SimComm._complete_recv(req, msg)
+                return req
+        self.comm._posted.setdefault(self.rank, []).append((src, tag, req))
+        return req
+
+    def wait(self, req: Request) -> Generator[Event, Any, Status]:
+        """Block until ``req`` completes; returns its :class:`Status`."""
+        yield req.event
+        return req.status
+
+    def waitall(self, reqs: Iterable[Request]) -> Generator[Event, Any, list[Status]]:
+        """Block until every request completes."""
+        reqs = list(reqs)
+        yield self.sim.all_of([r.event for r in reqs])
+        return [r.status for r in reqs]
+
+    def send(
+        self, dst: int, nbytes: float, tag: int = 0, payload: Any = None
+    ) -> Generator[Event, Any, None]:
+        """Blocking send: returns when the payload has been delivered."""
+        req = yield from self.isend(dst, nbytes, tag, payload)
+        yield req.event
+
+    def recv(
+        self, src: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> Generator[Event, Any, Status]:
+        """Blocking receive."""
+        req = yield from self.irecv(src, tag)
+        return (yield from self.wait(req))
+
+    def sendrecv(
+        self,
+        dst: int,
+        send_bytes: float,
+        src: int,
+        send_tag: int = 0,
+        recv_tag: Optional[int] = None,
+        payload: Any = None,
+    ) -> Generator[Event, Any, Status]:
+        """MPI_Sendrecv: a combined shift — send to ``dst`` while
+        receiving from ``src``; completes when both finish.
+
+        The canonical halo-exchange call; unlike a send followed by a
+        blocking recv it cannot deadlock when every rank shifts the same
+        way.
+        """
+        recv_tag = send_tag if recv_tag is None else recv_tag
+        send_req = yield from self.isend(dst, send_bytes, send_tag, payload)
+        recv_req = yield from self.irecv(src, recv_tag)
+        yield self.sim.all_of([send_req.event, recv_req.event])
+        return recv_req.status
+
+    # -- collectives ------------------------------------------------------------
+    def barrier(self) -> Proc:
+        """Global barrier over the dedicated interrupt network."""
+        yield from self.comm._call_overhead(self.rank)
+        yield from self.comm._rendezvous("barrier", self.rank, 0.0)
+
+    def allreduce(self, nbytes: float) -> Proc:
+        """An allreduce of ``nbytes`` over the collective tree network."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        yield from self.comm._call_overhead(self.rank)
+        yield from self.comm._rendezvous("allreduce", self.rank, nbytes)
+
+    def bcast(self, nbytes: float) -> Proc:
+        """A broadcast of ``nbytes`` over the tree network.
+
+        BG/P routes broadcasts down the same hardware tree as reductions,
+        so the timing model is shared; all ranks (root included) return
+        together after one pipelined traversal.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        yield from self.comm._call_overhead(self.rank)
+        yield from self.comm._rendezvous("bcast", self.rank, nbytes)
+
+    def reduce(self, nbytes: float) -> Proc:
+        """A reduction of ``nbytes`` to a root over the tree network."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        yield from self.comm._call_overhead(self.rank)
+        yield from self.comm._rendezvous("reduce", self.rank, nbytes)
+
+    # -- computation ------------------------------------------------------------
+    def compute(self, seconds: float, core: Optional[int] = None) -> Proc:
+        """Occupy this context's core (or ``core``) for ``seconds``."""
+        yield from self.comm.machine.compute(
+            self.node, self.core if core is None else core, seconds
+        )

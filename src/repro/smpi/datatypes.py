@@ -1,0 +1,79 @@
+"""Shared datatypes of the simulated MPI layer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.des.core import Event
+
+#: MPI_ANY_SOURCE / MPI_ANY_TAG wildcards
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+class ThreadMode(enum.Enum):
+    """MPI-2 thread support levels (section III-A of the paper).
+
+    Only the two levels the paper contrasts carry a behavioural difference
+    in the model: ``MULTIPLE`` pays per-call locking, ``SINGLE`` (and the
+    intermediate levels) do not — but FUNNELED/SERIALIZED are represented
+    so user code can declare intent and be validated against it.
+    """
+
+    SINGLE = "single"
+    FUNNELED = "funneled"
+    SERIALIZED = "serialized"
+    MULTIPLE = "multiple"
+
+    @property
+    def pays_lock_overhead(self) -> bool:
+        return self is ThreadMode.MULTIPLE
+
+    @property
+    def allows_concurrent_calls(self) -> bool:
+        return self is ThreadMode.MULTIPLE
+
+
+@dataclass
+class Message:
+    """An in-flight or delivered message."""
+
+    src: int
+    dst: int
+    tag: int
+    nbytes: float
+    payload: Any = None
+    #: fires when the payload has physically arrived at the destination
+    arrival: Optional[Event] = None
+
+    def matches(self, src: int, tag: int) -> bool:
+        """Does this message satisfy a recv posted with (src, tag)?"""
+        return (src in (ANY_SOURCE, self.src)) and (tag in (ANY_TAG, self.tag))
+
+
+@dataclass
+class Status:
+    """Completion information of a receive (MPI_Status)."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    nbytes: float = 0.0
+
+
+@dataclass
+class Request:
+    """Handle for a non-blocking operation (MPI_Request).
+
+    ``event`` fires when the operation completes; its value is a
+    :class:`Status` for receives and None for sends.
+    """
+
+    event: Event
+    kind: str  # "send" | "recv"
+    status: Status = field(default_factory=Status)
+
+    @property
+    def complete(self) -> bool:
+        return self.event.triggered

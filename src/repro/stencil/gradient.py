@@ -1,0 +1,106 @@
+"""First-derivative (gradient) stencils.
+
+GPAW needs first derivatives of the wave functions for forces and for the
+kinetic-energy density; they are central-difference stencils of the same
+family as the Laplacian and ride on the same halo machinery (their radius
+is what sets the halo width).  Weights are exact rationals, antisymmetric
+about the centre (the centre weight is zero).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.util.validation import check_in, check_positive_int
+
+#: Exact first-derivative central-difference weights by radius:
+#:   f'(x) ~ sum_d w_d * (f(x+d) - f(x-d)) / h
+_FIRST_DERIVATIVE_WEIGHTS: dict[int, list[Fraction]] = {
+    1: [Fraction(1, 2)],
+    2: [Fraction(2, 3), Fraction(-1, 12)],
+    3: [Fraction(3, 4), Fraction(-3, 20), Fraction(1, 60)],
+    4: [Fraction(4, 5), Fraction(-1, 5), Fraction(4, 105), Fraction(-1, 280)],
+}
+
+MAX_RADIUS = max(_FIRST_DERIVATIVE_WEIGHTS)
+
+
+def gradient_weights(radius: int = 2, spacing: float = 1.0) -> tuple[float, ...]:
+    """Per-distance weights of the d/dx stencil (antisymmetric)."""
+    check_positive_int(radius, "radius")
+    if radius not in _FIRST_DERIVATIVE_WEIGHTS:
+        raise ValueError(f"radius must be in 1..{MAX_RADIUS}, got {radius}")
+    if not spacing > 0:
+        raise ValueError(f"spacing must be > 0, got {spacing}")
+    return tuple(float(w) / spacing for w in _FIRST_DERIVATIVE_WEIGHTS[radius])
+
+
+def apply_gradient_global(
+    array: np.ndarray,
+    axis: int,
+    radius: int = 2,
+    spacing: float = 1.0,
+    periodic: bool = True,
+) -> np.ndarray:
+    """d/dx_axis of a full grid, wrapping or zero-extending at the walls."""
+    check_in(axis, (0, 1, 2), "axis")
+    weights = gradient_weights(radius, spacing)
+    out = np.zeros_like(array)
+    for dist, w in enumerate(weights, start=1):
+        if periodic:
+            out += w * (np.roll(array, -dist, axis=axis) - np.roll(array, +dist, axis=axis))
+        else:
+            fwd = np.zeros_like(array)
+            bwd = np.zeros_like(array)
+            src: list[slice] = [slice(None)] * array.ndim
+            dst: list[slice] = [slice(None)] * array.ndim
+            n = array.shape[axis]
+            # forward sample: point p sees p + dist
+            src[axis] = slice(dist, None)
+            dst[axis] = slice(0, n - dist)
+            fwd[tuple(dst)] = array[tuple(src)]
+            # backward sample: point p sees p - dist
+            src[axis] = slice(0, n - dist)
+            dst[axis] = slice(dist, None)
+            bwd[tuple(dst)] = array[tuple(src)]
+            out += w * (fwd - bwd)
+    return out
+
+
+def apply_gradient_padded(
+    padded: np.ndarray,
+    axis: int,
+    radius: int = 2,
+    spacing: float = 1.0,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """d/dx_axis on a halo-padded block (ghosts already filled).
+
+    The padded array must carry ``radius`` ghost layers on every side, the
+    same layout the Laplacian engine uses — one halo exchange serves both
+    operators.
+    """
+    check_in(axis, (0, 1, 2), "axis")
+    weights = gradient_weights(radius, spacing)
+    w = radius
+    for ax, size in enumerate(padded.shape):
+        if size < 2 * w + 1:
+            raise ValueError(
+                f"padded axis {ax} has {size} points; needs >= {2 * w + 1}"
+            )
+    block_shape = tuple(s - 2 * w for s in padded.shape)
+    if out is None:
+        out = np.zeros(block_shape, dtype=padded.dtype)
+    elif out.shape != block_shape:
+        raise ValueError(f"out shape {out.shape} != block shape {block_shape}")
+    else:
+        out[...] = 0.0
+    for dist, weight in enumerate(weights, start=1):
+        lo: list[slice] = [slice(w, -w)] * 3
+        hi: list[slice] = [slice(w, -w)] * 3
+        lo[axis] = slice(w - dist, -w - dist)
+        hi[axis] = slice(w + dist, padded.shape[axis] - w + dist)
+        out += weight * (padded[tuple(hi)] - padded[tuple(lo)])
+    return out

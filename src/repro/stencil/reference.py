@@ -1,0 +1,46 @@
+"""Naive triple-loop stencil — the oracle's oracle.
+
+Deliberately written point-by-point, straight from the paper's equation
+for ``A'_{x,y,z}``, with explicit wrap/zero boundary handling.  Only used
+in tests on tiny grids to validate the vectorized kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stencil.coefficients import StencilCoefficients
+
+
+def apply_stencil_naive(
+    array: np.ndarray,
+    coeffs: StencilCoefficients,
+    pbc: tuple[bool, bool, bool] = (True, True, True),
+) -> np.ndarray:
+    """Apply the stencil one point at a time (slow, obviously correct)."""
+    nx, ny, nz = array.shape
+    out = np.zeros_like(array)
+    w = coeffs.radius
+
+    def sample(x: int, y: int, z: int) -> complex:
+        idx = [x, y, z]
+        for axis, n in enumerate((nx, ny, nz)):
+            if 0 <= idx[axis] < n:
+                continue
+            if pbc[axis]:
+                idx[axis] %= n
+            else:
+                return 0.0
+        return array[idx[0], idx[1], idx[2]]
+
+    for x in range(nx):
+        for y in range(ny):
+            for z in range(nz):
+                acc = coeffs.center * array[x, y, z]
+                for dist in range(1, w + 1):
+                    cw = coeffs.weights[dist - 1]
+                    acc += cw * (sample(x - dist, y, z) + sample(x + dist, y, z))
+                    acc += cw * (sample(x, y - dist, z) + sample(x, y + dist, z))
+                    acc += cw * (sample(x, y, z - dist) + sample(x, y, z + dist))
+                out[x, y, z] = acc
+    return out

@@ -1,0 +1,29 @@
+"""Functional message transports for the *numerics* plane.
+
+The performance plane runs on simulated time (:mod:`repro.smpi`); this
+package is its functional counterpart: real NumPy buffers moving between
+real rank contexts, so the four programming approaches can be executed
+end-to-end and checked for bit-identical results against the sequential
+stencil.
+
+:class:`~repro.transport.inproc.InprocTransport` runs every rank in one OS
+thread (NumPy releases the GIL, so kernels genuinely overlap), with an
+mpi4py-flavoured non-blocking API: ``isend``/``irecv``/``waitall``/
+``barrier`` and (source, tag) matching.  Message payloads are copied at
+send time — eager buffered semantics — which keeps arbitrary schedules
+deadlock-free and the engine's correctness independent of timing.
+"""
+
+from repro.transport.inproc import (
+    InprocTransport,
+    RankEndpoint,
+    TransportError,
+    run_ranks,
+)
+
+__all__ = [
+    "InprocTransport",
+    "RankEndpoint",
+    "TransportError",
+    "run_ranks",
+]

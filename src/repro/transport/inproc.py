@@ -1,0 +1,263 @@
+"""In-process threaded rank transport with MPI-like non-blocking semantics.
+
+Design notes
+------------
+
+* **Eager buffered sends.**  ``isend`` copies the payload and deposits it
+  in the destination's mailbox immediately; the send handle is complete at
+  once.  This mirrors MPI's buffered mode: no schedule can deadlock on
+  send order, which is the right property for a correctness oracle (the
+  *timing* consequences of schedules live in the performance plane).
+* **(source, tag) matching** with FIFO non-overtaking per (source, tag)
+  pair, like MPI — receivers block on a condition variable until a match
+  arrives.
+* **Instrumentation.**  The transport counts messages and bytes per rank;
+  tests use this to verify that e.g. batching really reduces the message
+  count by the batch factor.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+#: wildcard markers, mirroring repro.smpi.datatypes
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+_DEFAULT_TIMEOUT = 60.0  # a stuck functional test fails loudly, not forever
+
+
+class TransportError(RuntimeError):
+    """Raised on transport misuse or timeout (likely schedule bug)."""
+
+
+@dataclass
+class _Mail:
+    src: int
+    tag: int
+    payload: np.ndarray
+
+
+@dataclass
+class SendHandle:
+    """Completed-at-once handle for an eager send."""
+
+    nbytes: int
+
+    def wait(self, timeout: float = _DEFAULT_TIMEOUT) -> None:
+        return None
+
+    @property
+    def complete(self) -> bool:
+        return True
+
+
+class RecvHandle:
+    """Handle for a posted receive; ``wait()`` returns the payload."""
+
+    def __init__(self, endpoint: "RankEndpoint", src: int, tag: int):
+        self._endpoint = endpoint
+        self.src = src
+        self.tag = tag
+        self._payload: Optional[np.ndarray] = None
+        self._done = False
+
+    @property
+    def complete(self) -> bool:
+        return self._done
+
+    def wait(self, timeout: Optional[float] = None) -> np.ndarray:
+        if self._done:
+            return self._payload  # type: ignore[return-value]
+        self._payload = self._endpoint._take(self.src, self.tag, timeout)
+        self._done = True
+        return self._payload
+
+
+@dataclass
+class TransportStats:
+    """Per-rank message accounting."""
+
+    messages: int = 0
+    bytes: int = 0
+
+
+class InprocTransport:
+    """A set of ``size`` rank endpoints sharing mailboxes in one process.
+
+    ``default_timeout`` bounds every blocking wait (receives, barriers):
+    a schedule bug — ranks disagreeing on batch sizes, a died peer — fails
+    loudly with :class:`TransportError` instead of hanging the test run.
+    """
+
+    def __init__(self, size: int, default_timeout: float = _DEFAULT_TIMEOUT):
+        check_positive_int(size, "size")
+        if not default_timeout > 0:
+            raise ValueError(f"default_timeout must be > 0, got {default_timeout}")
+        self.size = size
+        self.default_timeout = default_timeout
+        self._boxes: list[list[_Mail]] = [[] for _ in range(size)]
+        self._conds = [threading.Condition() for _ in range(size)]
+        self.stats = [TransportStats() for _ in range(size)]
+        self._barrier = threading.Barrier(size)
+
+    def endpoint(self, rank: int) -> "RankEndpoint":
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} outside 0..{self.size - 1}")
+        return RankEndpoint(self, rank)
+
+
+class RankEndpoint:
+    """One rank's view of the transport (thread-safe)."""
+
+    def __init__(self, transport: InprocTransport, rank: int):
+        self.transport = transport
+        self.rank = rank
+
+    @property
+    def size(self) -> int:
+        return self.transport.size
+
+    # -- sending ----------------------------------------------------------
+    def isend(self, dst: int, payload: np.ndarray, tag: int = 0) -> SendHandle:
+        """Eager non-blocking send of an array (copied immediately)."""
+        tr = self.transport
+        if not 0 <= dst < tr.size:
+            raise ValueError(f"dst {dst} outside 0..{tr.size - 1}")
+        data = np.ascontiguousarray(payload).copy()
+        cond = tr._conds[dst]
+        with cond:
+            tr._boxes[dst].append(_Mail(src=self.rank, tag=tag, payload=data))
+            cond.notify_all()
+        st = tr.stats[self.rank]
+        st.messages += 1
+        st.bytes += data.nbytes
+        return SendHandle(nbytes=data.nbytes)
+
+    def send(self, dst: int, payload: np.ndarray, tag: int = 0) -> None:
+        """Blocking send (trivially complete under eager semantics)."""
+        self.isend(dst, payload, tag).wait()
+
+    # -- receiving -----------------------------------------------------------
+    def irecv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> RecvHandle:
+        """Post a receive; completion happens inside ``wait()``."""
+        return RecvHandle(self, src, tag)
+
+    def recv(
+        self, src: int = ANY_SOURCE, tag: int = ANY_TAG,
+        timeout: Optional[float] = None,
+    ) -> np.ndarray:
+        """Blocking receive; returns the payload array."""
+        return self._take(src, tag, timeout)
+
+    def _take(self, src: int, tag: int, timeout: Optional[float]) -> np.ndarray:
+        tr = self.transport
+        timeout = tr.default_timeout if timeout is None else timeout
+        cond = tr._conds[self.rank]
+        box = tr._boxes[self.rank]
+
+        def find() -> Optional[int]:
+            for i, mail in enumerate(box):
+                if src in (ANY_SOURCE, mail.src) and tag in (ANY_TAG, mail.tag):
+                    return i
+            return None
+
+        with cond:
+            deadline = timeout
+            idx = find()
+            if idx is None:
+                ok = cond.wait_for(lambda: find() is not None, timeout=deadline)
+                if not ok:
+                    raise TransportError(
+                        f"rank {self.rank}: recv(src={src}, tag={tag}) timed out "
+                        f"after {timeout}s — schedule deadlock?"
+                    )
+                idx = find()
+            assert idx is not None
+            return box.pop(idx).payload
+
+    # -- synchronization --------------------------------------------------------
+    def waitall(self, handles: Sequence[SendHandle | RecvHandle]) -> list[Any]:
+        """Complete every handle; returns recv payloads (None for sends)."""
+        return [h.wait() for h in handles]
+
+    def barrier(self, timeout: Optional[float] = None) -> None:
+        """Block until all ranks arrive."""
+        timeout = self.transport.default_timeout if timeout is None else timeout
+        try:
+            self.transport._barrier.wait(timeout=timeout)
+        except threading.BrokenBarrierError as exc:
+            raise TransportError(
+                f"rank {self.rank}: barrier broken (peer died or timeout)"
+            ) from exc
+
+    # -- collectives ------------------------------------------------------------
+    _COLL_TAG_BASE = 1 << 28  # tag space reserved for collective rounds
+
+    def allreduce(self, value: np.ndarray | float, round_id: int = 0) -> np.ndarray:
+        """Sum-allreduce over all ranks; returns the reduced array.
+
+        Gather-to-root + broadcast over the point-to-point layer — the
+        functional twin of :meth:`repro.smpi.comm.RankContext.allreduce`.
+        Concurrent collectives must use distinct ``round_id`` values; a
+        *sequence* of allreduces on the same id is safe (FIFO matching).
+        """
+        tr = self.transport
+        payload = np.atleast_1d(np.asarray(value, dtype=np.float64))
+        tag = self._COLL_TAG_BASE + round_id
+        if tr.size == 1:
+            return payload.copy()
+        if self.rank == 0:
+            total = payload.astype(np.float64, copy=True)
+            for _ in range(tr.size - 1):
+                total += self.recv(src=ANY_SOURCE, tag=tag)
+            for dst in range(1, tr.size):
+                self.isend(dst, total, tag=tag + 1)
+            return total
+        self.isend(0, payload, tag=tag)
+        return self.recv(src=0, tag=tag + 1)
+
+
+def run_ranks(
+    size: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    transport: Optional[InprocTransport] = None,
+) -> list[Any]:
+    """Run ``fn(endpoint, *args)`` on ``size`` rank threads; join and return.
+
+    Exceptions in any rank are re-raised in the caller (after all threads
+    have been joined), with the failing rank identified.
+    """
+    tr = transport if transport is not None else InprocTransport(size)
+    if tr.size != size:
+        raise ValueError(f"transport size {tr.size} != requested size {size}")
+    results: list[Any] = [None] * size
+    errors: list[tuple[int, BaseException]] = []
+
+    def runner(rank: int) -> None:
+        try:
+            results[rank] = fn(tr.endpoint(rank), *args)
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            errors.append((rank, exc))
+            # Unblock peers stuck in the barrier so the join terminates.
+            tr._barrier.abort()
+
+    threads = [
+        threading.Thread(target=runner, args=(rank,), name=f"rank{rank}")
+        for rank in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        rank, exc = errors[0]
+        raise TransportError(f"rank {rank} failed: {exc!r}") from exc
+    return results

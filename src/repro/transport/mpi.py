@@ -1,0 +1,151 @@
+"""Real-MPI transport: the same engine, an actual cluster.
+
+The functional engine talks to a small endpoint interface (``isend`` /
+``irecv`` / ``waitall`` / ``barrier`` / ``allreduce``).  This module
+implements it over `mpi4py`, so the identical
+:class:`~repro.core.engine.DistributedStencil` code that the test suite
+runs on in-process threads runs unchanged under ``mpirun`` — one rank per
+process, NumPy buffers on the wire.
+
+mpi4py is an *optional* dependency: importing this module without it
+raises :class:`MpiUnavailableError` with an actionable message, and
+:func:`mpi_available` lets callers probe first.  (The offline CI for this
+repository has no MPI; the adapter is exercised by the interface-
+conformance tests below the guard and by any user with `mpirun`.)
+
+Usage on a cluster::
+
+    # engine_script.py
+    from repro.transport.mpi import MpiEndpoint
+    ep = MpiEndpoint()          # wraps MPI.COMM_WORLD
+    out = engine.apply(ep, my_blocks, approach=HYBRID_MULTIPLE, batch_size=8)
+
+    $ mpirun -n 64 python engine_script.py
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+#: wildcard markers, mirroring repro.transport.inproc
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+class MpiUnavailableError(RuntimeError):
+    """Raised when mpi4py is not installed/importable."""
+
+
+def mpi_available() -> bool:
+    """True if mpi4py can be imported in this interpreter."""
+    try:
+        import mpi4py  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _require_mpi():
+    try:
+        from mpi4py import MPI
+    except ImportError as exc:  # pragma: no cover - depends on environment
+        raise MpiUnavailableError(
+            "repro.transport.mpi needs mpi4py (pip install mpi4py); the "
+            "in-process transport (repro.transport.inproc) has the same "
+            "interface and no dependencies"
+        ) from exc
+    return MPI
+
+
+class MpiRecvHandle:
+    """Handle for a posted mpi4py receive."""
+
+    def __init__(self, request: Any):
+        self._request = request
+        self._payload: Optional[np.ndarray] = None
+        self._done = False
+
+    @property
+    def complete(self) -> bool:
+        return self._done
+
+    def wait(self, timeout: Optional[float] = None) -> np.ndarray:
+        if not self._done:
+            self._payload = self._request.wait()
+            self._done = True
+        return self._payload  # type: ignore[return-value]
+
+
+class MpiSendHandle:
+    """Handle for a posted mpi4py send."""
+
+    def __init__(self, request: Any, nbytes: int):
+        self._request = request
+        self.nbytes = nbytes
+
+    @property
+    def complete(self) -> bool:
+        return bool(self._request.Test())
+
+    def wait(self, timeout: Optional[float] = None) -> None:
+        self._request.wait()
+        return None
+
+
+class MpiEndpoint:
+    """``RankEndpoint``-compatible adapter over an mpi4py communicator.
+
+    Payloads travel via mpi4py's pickle-based lowercase API; the arrays
+    the engine sends are modest halo slabs, for which the pickling
+    overhead is negligible next to the wire time.  (A buffer-based
+    fast path is a natural extension; the interface would not change.)
+    """
+
+    def __init__(self, comm: Any = None):
+        MPI = _require_mpi()
+        self._MPI = MPI
+        self.comm = comm if comm is not None else MPI.COMM_WORLD
+        self.rank = self.comm.Get_rank()
+
+    @property
+    def size(self) -> int:
+        return self.comm.Get_size()
+
+    # -- point to point -------------------------------------------------------
+    def isend(self, dst: int, payload: np.ndarray, tag: int = 0) -> MpiSendHandle:
+        data = np.ascontiguousarray(payload)
+        req = self.comm.isend(data, dest=dst, tag=tag)
+        return MpiSendHandle(req, data.nbytes)
+
+    def send(self, dst: int, payload: np.ndarray, tag: int = 0) -> None:
+        self.comm.send(np.ascontiguousarray(payload), dest=dst, tag=tag)
+
+    def irecv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> MpiRecvHandle:
+        MPI = self._MPI
+        mpi_src = MPI.ANY_SOURCE if src == ANY_SOURCE else src
+        mpi_tag = MPI.ANY_TAG if tag == ANY_TAG else tag
+        return MpiRecvHandle(self.comm.irecv(source=mpi_src, tag=mpi_tag))
+
+    def recv(
+        self, src: int = ANY_SOURCE, tag: int = ANY_TAG,
+        timeout: Optional[float] = None,
+    ) -> np.ndarray:
+        MPI = self._MPI
+        mpi_src = MPI.ANY_SOURCE if src == ANY_SOURCE else src
+        mpi_tag = MPI.ANY_TAG if tag == ANY_TAG else tag
+        return self.comm.recv(source=mpi_src, tag=mpi_tag)
+
+    # -- synchronization ---------------------------------------------------------
+    def waitall(self, handles: Sequence[Any]) -> list[Any]:
+        return [h.wait() for h in handles]
+
+    def barrier(self, timeout: Optional[float] = None) -> None:
+        self.comm.Barrier()
+
+    def allreduce(self, value: np.ndarray | float, round_id: int = 0) -> np.ndarray:
+        payload = np.atleast_1d(np.asarray(value, dtype=np.float64))
+        out = np.empty_like(payload)
+        self.comm.Allreduce(payload, out, op=self._MPI.SUM)
+        return out

@@ -1,0 +1,53 @@
+"""Argument-validation helpers shared by public entry points.
+
+Raising early with a precise message is cheaper than debugging a simulation
+that silently produced nonsense; every public constructor funnels its
+integer/enum/shape checks through these helpers so error text stays uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Collection, Sequence
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Return ``value`` as int, requiring an integral value >= 1."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        # bool is an int subclass; reject it explicitly — "nx=True" is a bug.
+        try:
+            ivalue = int(value)
+        except (TypeError, ValueError):
+            raise TypeError(f"{name} must be an integer, got {value!r}") from None
+        if ivalue != value:
+            raise TypeError(f"{name} must be an integer, got {value!r}")
+        value = ivalue
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return int(value)
+
+
+def check_nonnegative(value: Any, name: str) -> float:
+    """Return ``value`` as float, requiring it to be >= 0 and finite."""
+    v = float(value)
+    if not v >= 0.0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return v
+
+
+def check_in(value: Any, options: Collection[Any], name: str) -> Any:
+    """Require ``value`` to be one of ``options``."""
+    if value not in options:
+        opts = ", ".join(map(repr, options))
+        raise ValueError(f"{name} must be one of {opts}; got {value!r}")
+    return value
+
+
+def check_shape3(shape: Sequence[int], name: str) -> tuple[int, int, int]:
+    """Return ``shape`` as a validated 3-tuple of positive ints."""
+    try:
+        items = tuple(shape)
+    except TypeError:
+        raise TypeError(f"{name} must be a sequence of 3 ints, got {shape!r}") from None
+    if len(items) != 3:
+        raise ValueError(f"{name} must have length 3, got {shape!r}")
+    return tuple(check_positive_int(s, f"{name}[{i}]") for i, s in enumerate(items))  # type: ignore[return-value]

@@ -1,0 +1,64 @@
+"""Tests for the ASCII line plots + CLI --plot paths."""
+
+import pytest
+
+from repro.analysis import line_plot
+from repro.cli import main
+
+
+class TestLinePlot:
+    def test_basic_render(self):
+        text = line_plot({"a": [(0, 0), (1, 1)]}, width=20, height=5)
+        lines = text.splitlines()
+        assert any("o" in l for l in lines)
+        assert "legend: o a" in lines[-1]
+
+    def test_title(self):
+        text = line_plot({"a": [(0, 1)]}, title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_multiple_series_distinct_markers(self):
+        text = line_plot({"a": [(0, 0)], "b": [(1, 1)]})
+        assert "o a" in text and "x b" in text
+
+    def test_extremes_placed_at_corners(self):
+        text = line_plot({"a": [(0, 0), (10, 10)]}, width=10, height=4)
+        rows = [l for l in text.splitlines() if "|" in l]
+        # max y in the top row, min y in the bottom data row
+        assert "o" in rows[0]
+        assert "o" in rows[3]
+
+    def test_log_axis(self):
+        text = line_plot(
+            {"a": [(1, 1), (10, 10), (100, 100)]}, width=21, height=5,
+            x_log=True, y_log=True,
+        )
+        rows = [l.split("|")[1] for l in text.splitlines() if l.count("|") == 2]
+        # log-log straight line: middle point lands mid-canvas
+        middle = rows[2]
+        assert middle[len(middle) // 2] == "o"
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            line_plot({"a": [(0, 1), (1, 2)]}, x_log=True)
+
+    def test_empty(self):
+        assert line_plot({}) == "(no data)"
+        assert line_plot({"a": []}) == "(no data)"
+
+    def test_constant_series(self):
+        text = line_plot({"a": [(1, 5), (2, 5)]}, width=10, height=3)
+        assert "o" in text  # degenerate y-range handled
+
+
+class TestCliPlots:
+    def test_fig7_plot(self, capsys):
+        assert main(["fig7", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+        assert "hyb-mult" in out
+
+    def test_fig5_plot(self, capsys):
+        assert main(["fig5", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out

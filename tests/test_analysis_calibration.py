@@ -1,0 +1,58 @@
+"""Tests for the calibration fitting machinery."""
+
+import pytest
+
+from repro.analysis.calibration import (
+    PaperAnchors,
+    anchor_error,
+    fit_compute_knobs,
+)
+from repro.machine.spec import BGP_SPEC
+
+
+class TestAnchorError:
+    def test_shipped_defaults_fit_well(self):
+        """The shipped calibration sits close to the paper's anchors:
+        every anchor within ~12% on average (six anchors, summed squared
+        relative error below 0.1)."""
+        assert anchor_error(BGP_SPEC) < 0.1
+
+    def test_bad_calibration_scores_worse(self):
+        slow = BGP_SPEC.with_(stencil_point_time=400e-9)
+        assert anchor_error(slow) > anchor_error(BGP_SPEC)
+        hot = BGP_SPEC.with_(halo_compute_exponent=0.9)
+        assert anchor_error(hot) > anchor_error(BGP_SPEC)
+
+    def test_custom_anchors(self):
+        """A different target moves the error (the functional is live)."""
+        wrong = PaperAnchors(headline_speedup=5.0)
+        assert anchor_error(BGP_SPEC, wrong) > anchor_error(BGP_SPEC)
+
+
+class TestGridSearch:
+    def test_recovers_neighborhood_of_defaults(self):
+        """The search's optimum lands on (or adjacent to) the shipped
+        values — the calibration is reproducible from the anchors."""
+        result = fit_compute_knobs(
+            t_points=(90e-9, 110e-9, 130e-9),
+            exponents=(0.2, 0.3, 0.4),
+        )
+        assert result.spec.stencil_point_time == pytest.approx(110e-9, rel=0.25)
+        assert result.spec.halo_compute_exponent == pytest.approx(0.4, abs=0.1)
+
+    def test_best_error_is_min_of_grid(self):
+        result = fit_compute_knobs(
+            t_points=(100e-9, 120e-9), exponents=(0.25, 0.35)
+        )
+        assert result.error == pytest.approx(min(e for _, _, e in result.grid))
+        assert len(result.grid) == 4
+
+    def test_default_beats_grid_corners(self):
+        """No corner of a wide grid beats the shipped point by much."""
+        shipped = anchor_error(BGP_SPEC)
+        for t in (80e-9, 140e-9):
+            for e in (0.15, 0.45):
+                corner = BGP_SPEC.with_(
+                    stencil_point_time=t, halo_compute_exponent=e
+                )
+                assert anchor_error(corner) > shipped * 0.5

@@ -1,0 +1,100 @@
+"""Tests for the scaling-analysis utilities."""
+
+import pytest
+
+from repro.analysis.scaling import (
+    crossover_cores,
+    gustafson_crossover,
+    isoefficiency_grids,
+    parallel_efficiency,
+)
+from repro.core import (
+    FDJob,
+    FLAT_OPTIMIZED,
+    FLAT_ORIGINAL,
+    HYBRID_MULTIPLE,
+)
+from repro.grid import GridDescriptor
+
+GRID192 = GridDescriptor((192, 192, 192))
+GRID144 = GridDescriptor((144, 144, 144))
+
+
+class TestEfficiency:
+    def test_in_unit_interval_and_decays(self):
+        job = FDJob(GRID144, 32)
+        effs = [
+            parallel_efficiency(job, HYBRID_MULTIPLE, p)
+            for p in (64, 1024, 4096)
+        ]
+        assert all(0 < e <= 1.05 for e in effs)
+        assert effs == sorted(effs, reverse=True)
+
+    def test_hybrid_more_efficient_than_original_at_scale(self):
+        job = FDJob(GRID192, 2816)
+        assert parallel_efficiency(job, HYBRID_MULTIPLE, 16384) > parallel_efficiency(
+            job, FLAT_ORIGINAL, 16384
+        )
+
+    def test_explicit_batch_size(self):
+        job = FDJob(GRID144, 32)
+        e1 = parallel_efficiency(job, FLAT_OPTIMIZED, 4096, batch_size=1)
+        e8 = parallel_efficiency(job, FLAT_OPTIMIZED, 4096, batch_size=8)
+        assert e8 > e1
+
+
+class TestCrossover:
+    def test_hybrid_overtakes_flat_by_512_on_gustafson(self):
+        """The generalized Fig 6 remark: 'At 512 CPU-cores Hybrid multiple
+        is faster than Flat optimized' — our model has the crossover at or
+        before 512."""
+        p = gustafson_crossover(GRID192, HYBRID_MULTIPLE, FLAT_OPTIMIZED)
+        assert p is not None
+        assert p <= 512
+
+    def test_optimized_always_beats_original(self):
+        p = crossover_cores(FDJob(GRID192, 256), FLAT_OPTIMIZED, FLAT_ORIGINAL)
+        assert p == 16  # from the first probe on
+
+    def test_never_crossing_returns_none(self):
+        p = crossover_cores(
+            FDJob(GRID192, 256), FLAT_ORIGINAL, HYBRID_MULTIPLE,
+            cores=(1024, 4096, 16384),
+        )
+        assert p is None
+
+
+class TestIsoefficiency:
+    def test_more_cores_need_more_grids(self):
+        g1 = isoefficiency_grids(GRID192, HYBRID_MULTIPLE, 1024, 0.7)
+        g2 = isoefficiency_grids(GRID192, HYBRID_MULTIPLE, 16384, 0.7)
+        assert g1 is not None and g2 is not None
+        assert g2 >= g1
+
+    def test_original_needs_more_work_than_hybrid(self):
+        """The latency-hiding approaches reach 60% utilization with less
+        work per core than the original blocking code."""
+        g_orig = isoefficiency_grids(GRID192, FLAT_ORIGINAL, 16384, 0.6)
+        g_hyb = isoefficiency_grids(GRID192, HYBRID_MULTIPLE, 16384, 0.6)
+        assert g_hyb is not None
+        assert g_orig is None or g_orig > g_hyb
+
+    def test_unreachable_target_returns_none(self):
+        assert isoefficiency_grids(
+            GRID192, FLAT_ORIGINAL, 16384, 0.99, max_grids=1 << 12
+        ) is None
+
+    def test_target_validated(self):
+        with pytest.raises(ValueError):
+            isoefficiency_grids(GRID192, HYBRID_MULTIPLE, 1024, 1.5)
+
+    def test_result_is_minimal(self):
+        from repro.core import PerformanceModel
+
+        g = isoefficiency_grids(GRID192, HYBRID_MULTIPLE, 1024, 0.7)
+        assert g is not None and g > 1
+        pm = PerformanceModel()
+        at = pm.best_batch_size(FDJob(GRID192, g), HYBRID_MULTIPLE, 1024)
+        below = pm.best_batch_size(FDJob(GRID192, g - 1), HYBRID_MULTIPLE, 1024)
+        assert at.utilization >= 0.7
+        assert below.utilization < 0.7

@@ -1,0 +1,89 @@
+"""Tests for the experiment CLI (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(capsys, *argv):
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_fig5_batch_size_default(self):
+        args = build_parser().parse_args(["fig5"])
+        assert args.batch_size == 8
+
+    def test_wholeapp_bands_option(self):
+        args = build_parser().parse_args(["wholeapp", "--bands", "128"])
+        assert args.bands == 128
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        out = run(capsys, "table1")
+        assert "850 MHz" in out
+        assert "5.1GB/s" in out
+
+    def test_fig2(self, capsys):
+        out = run(capsys, "fig2")
+        assert "bandwidth MB/s" in out
+        assert "Fig 2" in out
+
+    def test_fig5_right_panel(self, capsys):
+        out = run(capsys, "fig5")
+        assert "batch-size 8" in out
+        assert "hyb-mult" in out
+
+    def test_fig5_left_panel(self, capsys):
+        out = run(capsys, "fig5", "--batch-size", "1")
+        assert "batching disabled" in out
+
+    def test_fig6(self, capsys):
+        out = run(capsys, "fig6")
+        assert "Gustafson" in out
+        assert "MB/node" in out
+
+    def test_fig7(self, capsys):
+        out = run(capsys, "fig7")
+        assert "2816 grids" in out
+
+    def test_headline(self, capsys):
+        out = run(capsys, "headline")
+        assert "1.94" in out  # the paper column
+
+    def test_ablation(self, capsys):
+        out = run(capsys, "ablation")
+        assert "sub-groups" in out
+        assert "hybrid multiple" in out
+
+    def test_wholeapp(self, capsys):
+        out = run(capsys, "wholeapp", "--bands", "128")
+        assert "128 bands" in out
+        assert "Amdahl" in out
+
+    def test_validate(self, capsys):
+        out = run(capsys, "validate")
+        assert "cross-validation" in out
+        assert "ratio" in out
+
+    def test_report_contains_all_sections(self, capsys):
+        out = run(capsys, "report")
+        for marker in ("Table I", "Fig 2", "Fig 5", "Fig 6", "Fig 7",
+                       "sub-groups", "headline", "whole application",
+                       "cross-validation"):
+            assert marker in out
+
+    def test_calibrate(self, capsys):
+        out = run(capsys, "calibrate")
+        assert "anchor error" in out
+        assert "shipped spec error" in out

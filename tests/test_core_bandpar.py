@@ -1,0 +1,75 @@
+"""Tests for the band-parallelization extension model."""
+
+import pytest
+
+from repro.core import FDJob
+from repro.core.bandpar import BandParallelModel
+from repro.grid import GridDescriptor
+
+
+@pytest.fixture(scope="module")
+def model():
+    return BandParallelModel()
+
+
+@pytest.fixture(scope="module")
+def job():
+    return FDJob(GridDescriptor((192, 192, 192)), 2816)
+
+
+class TestValidation:
+    def test_groups_must_divide_grids(self, model):
+        with pytest.raises(ValueError, match="band groups"):
+            model.evaluate(FDJob(GridDescriptor((96, 96, 96)), 7), 64, 2)
+
+    def test_groups_must_divide_cores(self, model, job):
+        with pytest.raises(ValueError, match="divisible"):
+            model.evaluate(job, 16384, 11)
+
+    def test_positive_args(self, model, job):
+        with pytest.raises(ValueError):
+            model.evaluate(job, 0, 1)
+        with pytest.raises(ValueError):
+            model.evaluate(job, 16384, 0)
+
+
+class TestReduction:
+    def test_nb1_has_no_ring_traffic(self, model, job):
+        t = model.evaluate(job, 16384, 1)
+        assert t.subspace_ring_comm == 0.0
+
+    def test_nb1_fd_matches_hybrid_multiple(self, model, job):
+        """One band group IS the paper's hybrid-multiple configuration."""
+        from repro.core import HYBRID_MULTIPLE, PerformanceModel
+
+        t = model.evaluate(job, 16384, 1)
+        direct = PerformanceModel().best_batch_size(job, HYBRID_MULTIPLE, 16384)
+        assert t.fd == pytest.approx(direct.total)
+
+
+class TestScalingEscape:
+    def test_fd_time_drops_with_band_groups(self, model, job):
+        """Coarser domain decomposition per group => less FD communication
+        and a smaller halo penalty — the constraint the paper's section IV
+        imposes is exactly what band parallelization relaxes."""
+        fds = [t.fd for t in model.sweep(job, 16384, max_groups=8)]
+        assert fds == sorted(fds, reverse=True)
+
+    def test_ring_comm_grows_with_groups(self, model, job):
+        rings = [t.subspace_ring_comm for t in model.sweep(job, 16384, 8)]
+        assert rings == sorted(rings)
+
+    def test_ring_hides_under_gemm_for_moderate_groups(self, model, job):
+        """The ring exchange overlaps the partial GEMMs; for the paper's
+        band-heavy job it stays fully hidden up to 8 groups."""
+        for t in model.sweep(job, 16384, 8):
+            assert t.subspace == t.subspace_compute
+
+    def test_total_improves_or_holds(self, model, job):
+        totals = [t.total for t in model.sweep(job, 16384, 8)]
+        assert totals[-1] <= totals[0]
+
+    def test_sweep_skips_infeasible_counts(self, model):
+        job = FDJob(GridDescriptor((96, 96, 96)), 12)  # 12 grids: nb in {1,2,4}
+        nbs = [t.n_band_groups for t in model.sweep(job, 256, max_groups=8)]
+        assert nbs == [1, 2, 4]

@@ -1,0 +1,276 @@
+"""Integration tests: every approach must reproduce the sequential stencil.
+
+This is the library's central correctness property — the four schedules
+differ only in *when* data moves, never in *what* is computed.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ALL_APPROACHES,
+    DistributedStencil,
+    FLAT_OPTIMIZED,
+    FLAT_ORIGINAL,
+    HYBRID_MASTER_ONLY,
+    HYBRID_MULTIPLE,
+    SequentialStencil,
+    approach_by_name,
+    batch_schedule,
+)
+from repro.core.batching import split_among_workers
+from repro.grid import Decomposition, GridDescriptor, HaloSpec, gather, scatter
+from repro.stencil import laplacian_coefficients
+from repro.transport import InprocTransport, run_ranks
+
+
+def run_distributed(
+    shape=(12, 12, 12),
+    pbc=(True, True, True),
+    n_ranks=8,
+    n_grids=4,
+    approach=FLAT_OPTIMIZED,
+    batch_size=1,
+    ramp_up=False,
+    radius=2,
+    seed=0,
+    transport=None,
+):
+    """Scatter grids, run the distributed stencil on rank threads, gather."""
+    gd = GridDescriptor(shape, pbc=pbc)
+    decomp = Decomposition(gd, n_ranks)
+    coeffs = laplacian_coefficients(radius, spacing=gd.spacing)
+    engine = DistributedStencil(decomp, coeffs)
+    halo = HaloSpec(radius)
+
+    arrays = {gid: gd.random(seed=seed + gid) for gid in range(n_grids)}
+    blocks = {gid: scatter(a, decomp, halo) for gid, a in arrays.items()}
+
+    def rank_fn(ep):
+        mine = {gid: blocks[gid][ep.rank] for gid in arrays}
+        return engine.apply(
+            ep, mine, approach=approach, batch_size=batch_size, ramp_up=ramp_up
+        )
+
+    results = run_ranks(n_ranks, rank_fn, transport=transport)
+    gathered = {
+        gid: gather([results[r][gid] for r in range(n_ranks)]) for gid in arrays
+    }
+    expected = SequentialStencil(gd, coeffs).apply(arrays)
+    return gathered, expected
+
+
+class TestApproachesMatchOracle:
+    @pytest.mark.parametrize("approach", ALL_APPROACHES, ids=lambda a: a.name)
+    def test_periodic_cube(self, approach):
+        got, expected = run_distributed(approach=approach)
+        for gid in expected:
+            np.testing.assert_allclose(got[gid], expected[gid], rtol=1e-12)
+
+    @pytest.mark.parametrize("approach", ALL_APPROACHES, ids=lambda a: a.name)
+    def test_zero_boundary(self, approach):
+        got, expected = run_distributed(pbc=(False, False, False), approach=approach)
+        for gid in expected:
+            np.testing.assert_allclose(got[gid], expected[gid], rtol=1e-12)
+
+    @pytest.mark.parametrize("approach", ALL_APPROACHES, ids=lambda a: a.name)
+    def test_mixed_boundary(self, approach):
+        got, expected = run_distributed(pbc=(True, False, True), approach=approach)
+        for gid in expected:
+            np.testing.assert_allclose(got[gid], expected[gid], rtol=1e-12)
+
+    @pytest.mark.parametrize("batch_size", [1, 2, 4])
+    @pytest.mark.parametrize(
+        "approach", [FLAT_OPTIMIZED, HYBRID_MULTIPLE, HYBRID_MASTER_ONLY],
+        ids=lambda a: a.name,
+    )
+    def test_batching_preserves_results(self, approach, batch_size):
+        got, expected = run_distributed(
+            n_grids=8, approach=approach, batch_size=batch_size
+        )
+        for gid in expected:
+            np.testing.assert_allclose(got[gid], expected[gid], rtol=1e-12)
+
+    def test_ramp_up_preserves_results(self):
+        got, expected = run_distributed(
+            n_grids=10, approach=FLAT_OPTIMIZED, batch_size=4, ramp_up=True
+        )
+        for gid in expected:
+            np.testing.assert_allclose(got[gid], expected[gid], rtol=1e-12)
+
+    @pytest.mark.parametrize("radius", [1, 2, 3])
+    def test_other_radii(self, radius):
+        got, expected = run_distributed(radius=radius, approach=FLAT_OPTIMIZED)
+        for gid in expected:
+            np.testing.assert_allclose(got[gid], expected[gid], rtol=1e-12)
+
+    @pytest.mark.parametrize("n_ranks", [1, 2, 4, 6, 8, 12])
+    def test_rank_counts(self, n_ranks):
+        got, expected = run_distributed(n_ranks=n_ranks, approach=HYBRID_MULTIPLE)
+        for gid in expected:
+            np.testing.assert_allclose(got[gid], expected[gid], rtol=1e-12)
+
+    def test_anisotropic_grid(self):
+        got, expected = run_distributed(shape=(16, 10, 8), n_ranks=4)
+        for gid in expected:
+            np.testing.assert_allclose(got[gid], expected[gid], rtol=1e-12)
+
+    def test_uneven_blocks(self):
+        got, expected = run_distributed(shape=(13, 11, 12), n_ranks=6)
+        for gid in expected:
+            np.testing.assert_allclose(got[gid], expected[gid], rtol=1e-12)
+
+    def test_single_grid(self):
+        got, expected = run_distributed(n_grids=1, approach=FLAT_ORIGINAL)
+        np.testing.assert_allclose(got[0], expected[0], rtol=1e-12)
+
+    def test_empty_grid_set(self):
+        gd = GridDescriptor((8, 8, 8))
+        decomp = Decomposition(gd, 2)
+        engine = DistributedStencil(decomp, laplacian_coefficients(2))
+
+        def rank_fn(ep):
+            return engine.apply(ep, {})
+
+        results = run_ranks(2, rank_fn)
+        assert results == [{}, {}]
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        st.sampled_from([1, 2, 4, 8]),
+        st.integers(min_value=1, max_value=6),
+        st.sampled_from([1, 2, 3]),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_property_random_configs(self, n_ranks, n_grids, batch_size, seed):
+        got, expected = run_distributed(
+            n_ranks=n_ranks,
+            n_grids=n_grids,
+            approach=HYBRID_MULTIPLE,
+            batch_size=batch_size,
+            seed=seed,
+        )
+        for gid in expected:
+            np.testing.assert_allclose(got[gid], expected[gid], rtol=1e-12)
+
+
+class TestScheduleShape:
+    """Check that the schedules *communicate* the way the paper describes."""
+
+    def test_batching_reduces_message_count(self):
+        tr1 = InprocTransport(8)
+        run_distributed(n_grids=8, batch_size=1, transport=tr1)
+        tr4 = InprocTransport(8)
+        run_distributed(n_grids=8, batch_size=4, transport=tr4)
+        msgs1 = sum(s.messages for s in tr1.stats)
+        msgs4 = sum(s.messages for s in tr4.stats)
+        assert msgs1 == 4 * msgs4
+
+    def test_batching_conserves_total_bytes(self):
+        tr1 = InprocTransport(8)
+        run_distributed(n_grids=8, batch_size=1, transport=tr1)
+        tr4 = InprocTransport(8)
+        run_distributed(n_grids=8, batch_size=4, transport=tr4)
+        assert sum(s.bytes for s in tr1.stats) == sum(s.bytes for s in tr4.stats)
+
+    def test_message_count_per_grid_is_six(self):
+        """Interior periodic domains exchange 6 messages per grid."""
+        tr = InprocTransport(8)
+        run_distributed(n_grids=4, batch_size=1, transport=tr)
+        # 8 ranks x 4 grids x 6 directions
+        assert sum(s.messages for s in tr.stats) == 8 * 4 * 6
+
+    def test_flat_original_same_total_volume(self):
+        """Serialized vs concurrent exchange move identical data."""
+        tr_a = InprocTransport(8)
+        run_distributed(approach=FLAT_ORIGINAL, transport=tr_a)
+        tr_b = InprocTransport(8)
+        run_distributed(approach=FLAT_OPTIMIZED, transport=tr_b)
+        assert sum(s.bytes for s in tr_a.stats) == sum(s.bytes for s in tr_b.stats)
+
+    def test_batching_rejected_for_flat_original(self):
+        with pytest.raises(Exception, match="does not support batching"):
+            run_distributed(approach=FLAT_ORIGINAL, batch_size=2)
+
+    def test_wrong_domain_block_rejected(self):
+        gd = GridDescriptor((8, 8, 8))
+        decomp = Decomposition(gd, 2)
+        engine = DistributedStencil(decomp, laplacian_coefficients(2))
+        blocks = scatter(gd.zeros(), decomp, HaloSpec(2))
+
+        def rank_fn(ep):
+            wrong = blocks[1 - ep.rank]  # the *other* rank's block
+            engine.apply(ep, {0: wrong})
+
+        with pytest.raises(Exception, match="belongs to domain"):
+            run_ranks(2, rank_fn)
+
+    def test_transport_size_mismatch_rejected(self):
+        gd = GridDescriptor((8, 8, 8))
+        engine = DistributedStencil(Decomposition(gd, 4), laplacian_coefficients(2))
+
+        def rank_fn(ep):
+            engine.apply(ep, {})
+
+        with pytest.raises(Exception, match="domains"):
+            run_ranks(2, rank_fn)
+
+
+class TestBatchSchedule:
+    def test_plain_chunks(self):
+        assert batch_schedule(10, 4) == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+
+    def test_batch_of_one(self):
+        assert batch_schedule(3, 1) == [[0], [1], [2]]
+
+    def test_ramp_up_halves_first_batch(self):
+        sched = batch_schedule(128 + 64, 128, ramp_up=True)
+        assert len(sched[0]) == 64
+        assert len(sched[1]) == 128
+
+    def test_ramp_up_doubles_from_seed(self):
+        sched = batch_schedule(14, 8, ramp_up=True)
+        assert [len(b) for b in sched] == [4, 8, 2]
+
+    def test_ramp_up_noop_for_batch_one(self):
+        assert batch_schedule(3, 1, ramp_up=True) == [[0], [1], [2]]
+
+    def test_covers_all_grids_once(self):
+        for ramp in (False, True):
+            sched = batch_schedule(37, 8, ramp_up=ramp)
+            flat = [g for b in sched for g in b]
+            assert flat == list(range(37))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            batch_schedule(0, 4)
+        with pytest.raises(ValueError):
+            batch_schedule(4, 0)
+
+    @given(
+        st.integers(min_value=1, max_value=300),
+        st.integers(min_value=1, max_value=64),
+        st.booleans(),
+    )
+    def test_property_partition(self, n, b, ramp):
+        sched = batch_schedule(n, b, ramp_up=ramp)
+        flat = [g for batch in sched for g in batch]
+        assert flat == list(range(n))
+        assert all(1 <= len(batch) <= b for batch in sched)
+
+
+class TestWorkerSplit:
+    def test_whole_grids_dealt(self):
+        groups = split_among_workers(list(range(10)), 4)
+        assert [len(g) for g in groups] == [3, 3, 2, 2]
+        assert sorted(g for grp in groups for g in grp) == list(range(10))
+
+    def test_fewer_grids_than_workers(self):
+        groups = split_among_workers([0, 1], 4)
+        assert groups == [[0], [1], [], []]
+
+    def test_approach_lookup(self):
+        assert approach_by_name("hybrid-multiple") is HYBRID_MULTIPLE
+        with pytest.raises(ValueError):
+            approach_by_name("nonexistent")

@@ -1,0 +1,98 @@
+"""Section VII-A's sub-groups experiment, validated in both planes."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DistributedStencil,
+    FDJob,
+    HYBRID_MULTIPLE,
+    PerformanceModel,
+    SequentialStencil,
+    approach_by_name,
+    simulate_fd,
+)
+from repro.core.approaches import FLAT_SUBGROUPS
+from repro.grid import Decomposition, GridDescriptor, HaloSpec, gather, scatter
+from repro.stencil import laplacian_coefficients
+from repro.transport import run_ranks
+
+
+@pytest.fixture(scope="module")
+def job():
+    return FDJob(GridDescriptor((48, 48, 48)), 16)
+
+
+class TestApproachDefinition:
+    def test_structure(self):
+        assert not FLAT_SUBGROUPS.is_hybrid  # virtual-node ranks
+        assert not FLAT_SUBGROUPS.decompose_per_rank  # node-level blocks
+        assert FLAT_SUBGROUPS.supports_batching
+
+    def test_lookup_by_name(self):
+        assert approach_by_name("flat-subgroups") is FLAT_SUBGROUPS
+
+    def test_node_level_domains(self):
+        assert FLAT_SUBGROUPS.domains_for(4096) == 1024
+        assert HYBRID_MULTIPLE.domains_for(4096) == 1024
+
+
+class TestDesValidation:
+    """The paper's finding, reproduced at message level: 'its performance
+    is identical with the Hybrid multiple'."""
+
+    @pytest.mark.parametrize("batch", [1, 2, 4])
+    def test_identical_to_hybrid_minus_thread_costs(self, job, batch):
+        sg = simulate_fd(job, FLAT_SUBGROUPS, 32, batch_size=batch)
+        hm = simulate_fd(job, HYBRID_MULTIPLE, 32, batch_size=batch)
+        # hybrid pays spawn/join + MULTIPLE locks; otherwise identical
+        assert sg.total <= hm.total
+        assert hm.total / sg.total < 1.05
+
+    def test_identical_traffic(self, job):
+        sg = simulate_fd(job, FLAT_SUBGROUPS, 32, batch_size=2)
+        hm = simulate_fd(job, HYBRID_MULTIPLE, 32, batch_size=2)
+        assert sg.comm_bytes_per_node == hm.comm_bytes_per_node
+        assert sg.messages == hm.messages
+
+    def test_model_matches_des(self, job):
+        pm = PerformanceModel()
+        model = pm.evaluate(job, FLAT_SUBGROUPS, 32, batch_size=2)
+        sim = simulate_fd(job, FLAT_SUBGROUPS, 32, batch_size=2)
+        assert model.total == pytest.approx(sim.total, rel=0.10)
+        assert model.comm_bytes_per_node == pytest.approx(
+            sim.comm_bytes_per_node, rel=0.01
+        )
+
+
+class TestModelAtPaperScale:
+    def test_matches_hybrid_at_16k(self):
+        """The model-level restatement of the paper's conclusion."""
+        pm = PerformanceModel()
+        big = FDJob(GridDescriptor((192, 192, 192)), 2816)
+        sg = pm.best_batch_size(big, FLAT_SUBGROUPS, 16384)
+        hm = pm.best_batch_size(big, HYBRID_MULTIPLE, 16384)
+        assert sg.total == pytest.approx(hm.total, rel=0.05)
+        assert sg.comm_bytes_per_node == pytest.approx(hm.comm_bytes_per_node)
+
+
+class TestFunctionalPlane:
+    def test_subgroups_schedule_is_numerically_exact(self):
+        """The functional engine accepts the variant and matches the
+        sequential oracle (its schedule is the pipelined one)."""
+        gd = GridDescriptor((12, 12, 12))
+        decomp = Decomposition(gd, 4)
+        coeffs = laplacian_coefficients(2, gd.spacing)
+        engine = DistributedStencil(decomp, coeffs)
+        arrays = {gid: gd.random(seed=gid) for gid in range(4)}
+        blocks = {gid: scatter(a, decomp, HaloSpec(2)) for gid, a in arrays.items()}
+
+        def rank_fn(ep):
+            mine = {gid: blocks[gid][ep.rank] for gid in arrays}
+            return engine.apply(ep, mine, approach=FLAT_SUBGROUPS, batch_size=2)
+
+        results = run_ranks(4, rank_fn)
+        expected = SequentialStencil(gd, coeffs).apply(arrays)
+        for gid in arrays:
+            got = gather([results[r][gid] for r in range(4)])
+            np.testing.assert_allclose(got, expected[gid], rtol=1e-12)

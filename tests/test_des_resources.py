@@ -1,0 +1,217 @@
+"""Tests for repro.des.resources (Resource, Store)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.des import Resource, SimulationError, Simulator, Store
+
+
+class TestResource:
+    def test_capacity_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_immediate_grant_when_free(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+
+        def proc():
+            yield res.acquire()
+            return sim.now
+
+        assert sim.run_process(proc()) == 0.0
+        assert res.in_use == 1
+
+    def test_fifo_queueing(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def worker(name, hold):
+            yield res.acquire()
+            order.append((sim.now, name))
+            yield sim.timeout(hold)
+            res.release()
+
+        sim.spawn(worker("a", 2.0))
+        sim.spawn(worker("b", 1.0))
+        sim.spawn(worker("c", 1.0))
+        sim.run()
+        assert order == [(0.0, "a"), (2.0, "b"), (3.0, "c")]
+
+    def test_capacity_two_serves_pairs(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        starts = []
+
+        def worker(name):
+            yield res.acquire()
+            starts.append((sim.now, name))
+            yield sim.timeout(1.0)
+            res.release()
+
+        for name in "abcd":
+            sim.spawn(worker(name))
+        sim.run()
+        assert [s for s, _ in starts] == [0.0, 0.0, 1.0, 1.0]
+
+    def test_release_idle_raises(self):
+        sim = Simulator()
+        res = Resource(sim)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_use_helper_serializes(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        done = []
+
+        def worker(name):
+            yield from res.use(1.5)
+            done.append((sim.now, name))
+
+        sim.spawn(worker("x"))
+        sim.spawn(worker("y"))
+        sim.run()
+        assert done == [(1.5, "x"), (3.0, "y")]
+        assert res.in_use == 0
+
+    def test_queue_length_reporting(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+
+        def holder():
+            yield res.acquire()
+            yield sim.timeout(10.0)
+            res.release()
+
+        def waiter():
+            yield res.acquire()
+            res.release()
+
+        sim.spawn(holder())
+        sim.spawn(waiter())
+        sim.run(until=1.0)
+        assert res.queue_length == 1
+        sim.run()
+        assert res.queue_length == 0
+
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.lists(st.floats(min_value=0.01, max_value=10.0, allow_nan=False), min_size=1, max_size=24),
+    )
+    def test_property_throughput_bounded_by_capacity(self, capacity, durations):
+        """Total makespan must be >= sum(durations)/capacity (work conservation)."""
+        sim = Simulator()
+        res = Resource(sim, capacity=capacity)
+
+        def worker(d):
+            yield from res.use(d)
+
+        for d in durations:
+            sim.spawn(worker(d))
+        makespan = sim.run()
+        assert makespan >= sum(durations) / capacity - 1e-9
+        assert makespan <= sum(durations) + 1e-9
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("item")
+
+        def proc():
+            got = yield store.get()
+            return got
+
+        assert sim.run_process(proc()) == "item"
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+
+        def producer():
+            yield sim.timeout(3.0)
+            store.put(99)
+
+        def consumer():
+            value = yield store.get()
+            return (sim.now, value)
+
+        sim.spawn(producer())
+        assert sim.run_process(consumer()) == (3.0, 99)
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        store = Store(sim)
+        for i in range(5):
+            store.put(i)
+        got = []
+
+        def consumer():
+            for _ in range(5):
+                v = yield store.get()
+                got.append(v)
+
+        sim.run_process(consumer())
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_waiting_getters_served_fifo(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer(name):
+            v = yield store.get()
+            got.append((name, v))
+
+        sim.spawn(consumer("first"))
+        sim.spawn(consumer("second"))
+
+        def producer():
+            yield sim.timeout(1.0)
+            store.put("a")
+            store.put("b")
+
+        sim.spawn(producer())
+        sim.run()
+        assert got == [("first", "a"), ("second", "b")]
+
+    def test_try_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        assert store.try_get() is None
+        store.put(1)
+        assert store.try_get() == 1
+        assert store.try_get() is None
+
+    def test_len(self):
+        sim = Simulator()
+        store = Store(sim)
+        assert len(store) == 0
+        store.put("x")
+        store.put("y")
+        assert len(store) == 2
+
+    @given(st.lists(st.integers(), min_size=0, max_size=50))
+    def test_property_store_preserves_sequence(self, items):
+        sim = Simulator()
+        store = Store(sim)
+        received = []
+
+        def producer():
+            for it in items:
+                yield sim.timeout(0.1)
+                store.put(it)
+
+        def consumer():
+            for _ in items:
+                v = yield store.get()
+                received.append(v)
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        assert received == items

@@ -1,0 +1,130 @@
+"""Tests for activity tracing (repro.des.trace) and its machine wiring."""
+
+import pytest
+
+from repro.core import FDJob, FLAT_ORIGINAL, FLAT_OPTIMIZED, simulate_fd
+from repro.des import Simulator, Span, Tracer
+from repro.grid import GridDescriptor
+from repro.machine import Machine
+
+
+class TestSpan:
+    def test_duration(self):
+        assert Span(1.0, 3.5, "r").duration == 2.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Span(2.0, 1.0, "r")
+
+    def test_ordering_by_time(self):
+        a, b = Span(2.0, 3.0, "x"), Span(1.0, 5.0, "y")
+        assert sorted([a, b]) == [b, a]
+
+
+class TestTracer:
+    def test_record_and_query(self):
+        tr = Tracer()
+        tr.record("core0", 0.0, 1.0, "compute")
+        tr.record("core1", 0.5, 2.0)
+        assert len(tr) == 2
+        assert len(tr.spans("core0")) == 1
+        assert tr.resources() == ["core0", "core1"]
+
+    def test_busy_time_merges_overlaps(self):
+        tr = Tracer()
+        tr.record("r", 0.0, 2.0)
+        tr.record("r", 1.0, 3.0)  # overlapping
+        tr.record("r", 5.0, 6.0)
+        assert tr.busy_time("r") == pytest.approx(4.0)
+
+    def test_busy_time_contained_span(self):
+        tr = Tracer()
+        tr.record("r", 0.0, 10.0)
+        tr.record("r", 2.0, 3.0)  # fully contained
+        assert tr.busy_time("r") == pytest.approx(10.0)
+
+    def test_makespan_and_utilization(self):
+        tr = Tracer()
+        tr.record("r", 0.0, 2.0)
+        tr.record("other", 0.0, 4.0)
+        assert tr.makespan() == 4.0
+        assert tr.utilization("r") == pytest.approx(0.5)
+
+    def test_empty(self):
+        tr = Tracer()
+        assert tr.makespan() == 0.0
+        assert tr.utilization("r") == 0.0
+        assert tr.gantt() == "(empty trace)"
+
+    def test_gantt_renders_rows(self):
+        tr = Tracer()
+        tr.record("alpha", 0.0, 1.0)
+        tr.record("beta", 1.0, 2.0)
+        text = tr.gantt(width=20)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert "alpha" in lines[0] and "#" in lines[0]
+        assert "beta" in lines[1]
+
+
+class TestMachineTracing:
+    def test_compute_records_span(self):
+        tr = Tracer()
+        m = Machine(2, tracer=tr)
+        m.sim.run_process(m.compute(0, 1, 2.0))
+        spans = tr.spans("node0.core1")
+        assert len(spans) == 1
+        assert spans[0].duration == pytest.approx(2.0)
+
+    def test_transfer_records_link_span(self):
+        tr = Tracer()
+        m = Machine(8, tracer=tr)
+        m.sim.run_process(m.transfer(0, 1, 100_000))
+        link_spans = [s for r in tr.resources() if r.startswith("link")
+                      for s in tr.spans(r)]
+        assert len(link_spans) == 1
+        assert link_spans[0].label == "0->1"
+
+    def test_no_tracer_no_overhead(self):
+        m = Machine(2)
+        m.sim.run_process(m.compute(0, 0, 1.0))
+        assert m.tracer is None
+
+
+class TestSimrunTracing:
+    def test_trace_off_by_default(self):
+        job = FDJob(GridDescriptor((16, 16, 16)), 2)
+        r = simulate_fd(job, FLAT_OPTIMIZED, 8)
+        assert r.trace is None
+
+    def test_trace_captures_all_cores(self):
+        job = FDJob(GridDescriptor((16, 16, 16)), 2)
+        r = simulate_fd(job, FLAT_OPTIMIZED, 8, trace=True)
+        assert r.trace is not None
+        cores = [x for x in r.trace.resources() if ".core" in x]
+        assert len(cores) == 8  # 2 nodes x 4 cores in VN mode
+
+    def test_trace_shows_overlap_for_optimized(self):
+        """Double buffering: some link span must overlap a core span."""
+        job = FDJob(GridDescriptor((24, 24, 24)), 8)
+        r = simulate_fd(job, FLAT_OPTIMIZED, 8, batch_size=2, trace=True)
+        core_spans = [s for res in r.trace.resources() if ".core" in res
+                      for s in r.trace.spans(res)]
+        link_spans = [s for res in r.trace.resources() if res.startswith("link")
+                      for s in r.trace.spans(res)]
+        assert any(
+            ls.start < cs.end and cs.start < ls.end
+            for ls in link_spans
+            for cs in core_spans
+        )
+
+    def test_original_serializes_comm_and_compute_per_rank(self):
+        """Flat original: a core never computes while its own rank's
+        message is in flight (no latency hiding)."""
+        job = FDJob(GridDescriptor((16, 16, 16)), 2)
+        r = simulate_fd(job, FLAT_ORIGINAL, 8, trace=True)
+        total = r.trace.makespan()
+        # utilization of every core is clearly below 100%
+        for res in r.trace.resources():
+            if ".core" in res:
+                assert r.trace.utilization(res) < 0.95

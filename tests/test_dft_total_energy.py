@@ -1,0 +1,65 @@
+"""Tests for the SCF total energy (double-counting corrections)."""
+
+import numpy as np
+import pytest
+
+from repro.dft import Hamiltonian, SCFLoop
+from repro.grid import GridDescriptor
+
+
+def harmonic(n=14, spacing=0.5):
+    gd = GridDescriptor((n, n, n), pbc=(False,) * 3, spacing=spacing)
+    x, y, z = gd.coordinates()
+    c = (n + 1) * spacing / 2
+    v = 0.5 * ((x - c) ** 2 + (y - c) ** 2 + (z - c) ** 2)
+    return gd, v
+
+
+class TestTotalEnergy:
+    def run_scf(self, xc="none"):
+        gd, v = harmonic()
+        scf = SCFLoop(
+            gd, v, n_bands=1, occupations=[2.0], mixing=0.6,
+            tolerance=1e-5, max_iterations=60, eig_tol=1e-8, xc=xc,
+        )
+        return gd, v, scf.run()
+
+    def test_double_counting_identity_hartree(self):
+        """At self-consistency: sum_f eps = sum_f <T + V_ext> + 2 E_H, so
+        E_total = sum_f <T + V_ext> + E_H.  Both routes must agree."""
+        gd, v_ext, out = self.run_scf()
+        assert out.converged
+        h3 = gd.spacing ** 3
+        psi = out.states[0]
+        bare = Hamiltonian(gd, v_ext)
+        t_plus_vext = 2.0 * np.vdot(psi, bare.apply(psi)).real * h3
+        e_hartree = 0.5 * float((out.density * out.hartree_potential).sum() * h3)
+        direct = t_plus_vext + e_hartree
+        assert out.total_energy == pytest.approx(direct, rel=1e-3)
+
+    def test_total_below_band_sum(self):
+        """The Hartree double-counting correction is negative."""
+        _, _, out = self.run_scf()
+        band_sum = 2.0 * out.energies[0]
+        assert out.total_energy < band_sum
+
+    def test_total_above_noninteracting(self):
+        """Repulsion raises the energy above two non-interacting electrons."""
+        gd, v_ext, out = self.run_scf()
+        # two non-interacting electrons in the trap: 2 * (3/2) = 3 Ha
+        assert out.total_energy > 2 * 1.49
+        assert out.total_energy < 2 * out.energies[0]  # but below 2x dressed
+
+    def test_lda_lowers_total_energy(self):
+        _, _, hartree = self.run_scf("none")
+        _, _, lda = self.run_scf("lda")
+        assert lda.converged
+        assert lda.total_energy < hartree.total_energy
+
+    def test_unconverged_still_reports_energy(self):
+        gd, v = harmonic(n=10)
+        scf = SCFLoop(gd, v, n_bands=1, occupations=[2.0],
+                      tolerance=1e-14, max_iterations=2, eig_tol=1e-6)
+        out = scf.run()
+        assert not out.converged
+        assert np.isfinite(out.total_energy)

@@ -1,0 +1,57 @@
+"""Smoke tests keeping the examples runnable.
+
+The fast examples run end to end (their ``main()`` executed with stdout
+captured); the slow ones are import-checked so a syntax or API drift
+still fails the suite quickly.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+
+def load(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # type: ignore[union-attr]
+    return module
+
+
+ALL_EXAMPLES = sorted(p.stem for p in EXAMPLES.glob("*.py"))
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_imports(name):
+    module = load(name)
+    assert callable(module.main)
+    assert module.__doc__, f"{name}.py needs a module docstring"
+    assert "Run:" in module.__doc__
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["quickstart", "message_size_sweep", "latency_hiding_gantt", "poisson_solver"],
+)
+def test_fast_examples_run(name, capsys):
+    load(name).main()
+    out = capsys.readouterr().out
+    assert len(out.splitlines()) > 3
+
+
+def test_expected_example_set():
+    """The README promises at least these scenarios."""
+    for required in (
+        "quickstart",
+        "poisson_solver",
+        "electronic_structure",
+        "bgp_scaling_study",
+        "message_size_sweep",
+        "whole_application",
+        "latency_hiding_gantt",
+        "mini_gpaw",
+    ):
+        assert required in ALL_EXAMPLES

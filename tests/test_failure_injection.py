@@ -1,0 +1,103 @@
+"""Failure injection: schedule bugs and dying ranks must fail loudly.
+
+A distributed engine that *hangs* on misuse is a debugging nightmare; the
+transport's bounded waits turn desynchronized schedules, dead peers and
+mismatched parameters into immediate, attributable errors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedStencil, HYBRID_MULTIPLE
+from repro.grid import Decomposition, GridDescriptor, HaloSpec, scatter
+from repro.stencil import laplacian_coefficients
+from repro.transport import InprocTransport, TransportError, run_ranks
+
+
+def make_engine(shape=(8, 8, 8), n_ranks=2):
+    gd = GridDescriptor(shape)
+    decomp = Decomposition(gd, n_ranks)
+    engine = DistributedStencil(decomp, laplacian_coefficients(2, gd.spacing))
+    blocks = {
+        gid: scatter(gd.random(seed=gid), decomp, HaloSpec(2)) for gid in range(4)
+    }
+    return gd, engine, blocks
+
+
+class TestScheduleDesync:
+    def test_mismatched_batch_sizes_detected(self):
+        """Ranks disagreeing on batch size produce mismatched tags; the
+        bounded recv turns the would-be deadlock into a TransportError."""
+        gd, engine, blocks = make_engine()
+        tr = InprocTransport(2, default_timeout=0.3)
+
+        def rank_fn(ep):
+            mine = {gid: blocks[gid][ep.rank] for gid in blocks}
+            batch = 2 if ep.rank == 0 else 4  # the bug
+            return engine.apply(ep, mine, batch_size=batch)
+
+        with pytest.raises(TransportError):
+            run_ranks(2, rank_fn, transport=tr)
+
+    def test_mismatched_grid_sets_detected(self):
+        gd, engine, blocks = make_engine()
+        tr = InprocTransport(2, default_timeout=0.3)
+
+        def rank_fn(ep):
+            gids = list(blocks) if ep.rank == 0 else list(blocks)[:-1]  # the bug
+            mine = {gid: blocks[gid][ep.rank] for gid in gids}
+            return engine.apply(ep, mine)
+
+        with pytest.raises(TransportError):
+            run_ranks(2, rank_fn, transport=tr)
+
+
+class TestDyingRanks:
+    def test_peer_death_breaks_barrier(self):
+        tr = InprocTransport(2, default_timeout=0.3)
+
+        def rank_fn(ep):
+            if ep.rank == 1:
+                raise RuntimeError("simulated crash")
+            ep.barrier()
+
+        with pytest.raises(TransportError, match="rank 1 failed"):
+            run_ranks(2, rank_fn, transport=tr)
+
+    def test_peer_death_before_send_times_out_receiver(self):
+        tr = InprocTransport(2, default_timeout=0.3)
+        outcomes = {}
+
+        def rank_fn(ep):
+            if ep.rank == 0:
+                raise RuntimeError("crash before sending")
+            try:
+                ep.recv(src=0, tag=0)
+            except TransportError as exc:
+                outcomes["recv"] = str(exc)
+
+        with pytest.raises(TransportError):
+            run_ranks(2, rank_fn, transport=tr)
+        assert "timed out" in outcomes["recv"]
+
+
+class TestTimeoutConfiguration:
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            InprocTransport(2, default_timeout=0.0)
+
+    def test_explicit_timeout_overrides_default(self):
+        tr = InprocTransport(2, default_timeout=60.0)
+
+        def rank_fn(ep):
+            if ep.rank == 0:
+                with pytest.raises(TransportError):
+                    ep.recv(src=1, tag=0, timeout=0.05)
+
+        run_ranks(2, rank_fn, transport=tr)
+
+    def test_error_message_names_rank_and_tag(self):
+        tr = InprocTransport(1, default_timeout=0.05)
+        ep = tr.endpoint(0)
+        with pytest.raises(TransportError, match=r"rank 0: recv\(src=0, tag=42\)"):
+            ep.recv(src=0, tag=42)

@@ -1,0 +1,133 @@
+"""Tests for grid redistribution between decompositions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.grid import Decomposition, GridDescriptor, HaloSpec, gather, scatter
+from repro.grid.redistribute import Transfer, redistribute, transfer_plan
+from repro.transport import run_ranks
+
+
+class TestTransferPlan:
+    def test_identity_layout_is_all_self_transfers(self):
+        gd = GridDescriptor((8, 8, 8))
+        d = Decomposition(gd, 4)
+        plan = transfer_plan(d, d)
+        assert all(t.src == t.dst for t in plan)
+        assert len(plan) == 4
+
+    def test_plan_tiles_the_grid_exactly_once(self):
+        gd = GridDescriptor((12, 10, 8))
+        old = Decomposition(gd, 4, domains_shape=(4, 1, 1))
+        new = Decomposition(gd, 4, domains_shape=(1, 1, 4))
+        plan = transfer_plan(old, new)
+        cover = np.zeros(gd.shape, dtype=int)
+        for t in plan:
+            cover[t.global_slices] += 1
+        assert np.all(cover == 1)
+
+    def test_points_conserved(self):
+        gd = GridDescriptor((12, 12, 12))
+        plan = transfer_plan(Decomposition(gd, 8), Decomposition(gd, 8, (8, 1, 1)))
+        assert sum(t.n_points for t in plan) == gd.n_points
+
+    def test_slab_belongs_to_both_blocks(self):
+        gd = GridDescriptor((12, 12, 12))
+        old = Decomposition(gd, 8)
+        new = Decomposition(gd, 8, (2, 4, 1))
+        for t in transfer_plan(old, new):
+            for g, o, n in zip(
+                t.global_slices, old.block_slices(t.src), new.block_slices(t.dst)
+            ):
+                assert o.start <= g.start and g.stop <= o.stop
+                assert n.start <= g.start and g.stop <= n.stop
+
+    def test_mismatched_grids_rejected(self):
+        a = Decomposition(GridDescriptor((8, 8, 8)), 2)
+        b = Decomposition(GridDescriptor((8, 8, 10)), 2)
+        with pytest.raises(ValueError):
+            transfer_plan(a, b)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.sampled_from([(12, 12, 12), (13, 11, 9), (16, 8, 8)]),
+        st.sampled_from([1, 2, 4, 6, 8]),
+        st.sampled_from([1, 2, 4, 6, 8]),
+    )
+    def test_property_plan_is_a_partition(self, shape, n_old, n_new):
+        gd = GridDescriptor(shape)
+        old = Decomposition(gd, n_old)
+        new = Decomposition(gd, n_new)
+        cover = np.zeros(shape, dtype=int)
+        for t in transfer_plan(old, new):
+            cover[t.global_slices] += 1
+        assert np.all(cover == 1)
+
+
+class TestRedistribute:
+    def roundtrip(self, shape, old_shape, new_shape, n_ranks, seed=0):
+        gd = GridDescriptor(shape)
+        old = Decomposition(gd, n_ranks, old_shape)
+        new = Decomposition(gd, n_ranks, new_shape)
+        a = gd.random(seed=seed)
+        halo = HaloSpec(2)
+        old_blocks = scatter(a, old, halo)
+
+        def rank_fn(ep):
+            return redistribute(ep, old_blocks[ep.rank], new)
+
+        new_blocks = run_ranks(n_ranks, rank_fn)
+        return a, gather(new_blocks)
+
+    def test_x_slabs_to_z_slabs(self):
+        a, b = self.roundtrip((12, 12, 12), (4, 1, 1), (1, 1, 4), 4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_blocks_to_pencils(self):
+        a, b = self.roundtrip((12, 12, 12), (2, 2, 2), (1, 4, 2), 8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_identity_redistribution(self):
+        a, b = self.roundtrip((10, 10, 10), (2, 1, 1), (2, 1, 1), 2)
+        np.testing.assert_array_equal(a, b)
+
+    def test_uneven_blocks(self):
+        a, b = self.roundtrip((13, 11, 9), (3, 1, 1), (1, 3, 1), 3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_halo_width_for_new_layout(self):
+        gd = GridDescriptor((12, 12, 12))
+        old = Decomposition(gd, 4, (4, 1, 1))
+        new = Decomposition(gd, 4, (1, 4, 1))
+        a = gd.random(seed=3)
+        old_blocks = scatter(a, old, HaloSpec(2))
+
+        def rank_fn(ep):
+            return redistribute(ep, old_blocks[ep.rank], new, halo=HaloSpec(1))
+
+        new_blocks = run_ranks(4, rank_fn)
+        assert new_blocks[0].halo.width == 1
+        np.testing.assert_array_equal(gather(new_blocks), a)
+
+    def test_rank_count_mismatch_rejected(self):
+        gd = GridDescriptor((8, 8, 8))
+        old = Decomposition(gd, 2)
+        new = Decomposition(gd, 4)
+        blocks = scatter(gd.zeros(), old, HaloSpec(2))
+
+        def rank_fn(ep):
+            redistribute(ep, blocks[ep.rank], new)
+
+        with pytest.raises(Exception, match="domains"):
+            run_ranks(2, rank_fn)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.sampled_from([(2, 2, 2), (8, 1, 1), (1, 8, 1), (4, 2, 1), (1, 2, 4)]),
+        st.sampled_from([(2, 2, 2), (8, 1, 1), (2, 1, 4), (1, 4, 2)]),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_property_any_layout_pair_roundtrips(self, old_shape, new_shape, seed):
+        a, b = self.roundtrip((16, 16, 16), old_shape, new_shape, 8, seed=seed)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,224 @@
+"""Tests for repro.machine.torus — geometry and DES transfers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.des import Simulator
+from repro.machine.spec import BGP_SPEC
+from repro.machine.torus import DIRECTIONS, TorusNetwork, TorusTopology
+
+
+def make_net(shape=(4, 4, 4), torus=True):
+    sim = Simulator()
+    topo = TorusTopology(shape, torus=torus)
+    return sim, TorusNetwork(sim, topo, BGP_SPEC.torus)
+
+
+class TestTopologyGeometry:
+    def test_coords_roundtrip(self):
+        topo = TorusTopology((3, 4, 5))
+        for node in range(topo.n_nodes):
+            assert topo.node_at(topo.coords(node)) == node
+
+    def test_coords_c_order(self):
+        topo = TorusTopology((2, 3, 4))
+        assert topo.coords(0) == (0, 0, 0)
+        assert topo.coords(1) == (0, 0, 1)
+        assert topo.coords(4) == (0, 1, 0)
+        assert topo.coords(12) == (1, 0, 0)
+
+    def test_neighbor_wraps_on_torus(self):
+        topo = TorusTopology((4, 4, 4), torus=True)
+        edge = topo.node_at((3, 0, 0))
+        assert topo.neighbor(edge, 0, +1) == topo.node_at((0, 0, 0))
+
+    def test_neighbor_none_at_mesh_boundary(self):
+        topo = TorusTopology((4, 4, 4), torus=False)
+        edge = topo.node_at((3, 0, 0))
+        assert topo.neighbor(edge, 0, +1) is None
+        assert topo.neighbor(edge, 0, -1) == topo.node_at((2, 0, 0))
+
+    def test_six_directions(self):
+        assert len(DIRECTIONS) == 6
+        assert len(set(DIRECTIONS)) == 6
+
+    def test_invalid_dim_step(self):
+        topo = TorusTopology((2, 2, 2))
+        with pytest.raises(ValueError):
+            topo.neighbor(0, 3, 1)
+        with pytest.raises(ValueError):
+            topo.neighbor(0, 0, 2)
+
+    def test_node_bounds(self):
+        topo = TorusTopology((2, 2, 2))
+        with pytest.raises(ValueError):
+            topo.coords(8)
+
+    def test_hop_distance_torus_uses_wraparound(self):
+        topo = TorusTopology((8, 1, 1), torus=True)
+        a, b = topo.node_at((0, 0, 0)), topo.node_at((7, 0, 0))
+        assert topo.hop_distance(a, b) == 1
+
+    def test_hop_distance_mesh_no_wraparound(self):
+        topo = TorusTopology((8, 1, 1), torus=False)
+        a, b = topo.node_at((0, 0, 0)), topo.node_at((7, 0, 0))
+        assert topo.hop_distance(a, b) == 7
+
+    def test_route_dimension_ordered(self):
+        topo = TorusTopology((4, 4, 4))
+        src = topo.node_at((0, 0, 0))
+        dst = topo.node_at((1, 2, 1))
+        route = topo.route(src, dst)
+        dims = [dim for _, dim, _ in route]
+        assert dims == sorted(dims)
+        assert len(route) == topo.hop_distance(src, dst) == 4
+
+    def test_route_empty_for_self(self):
+        topo = TorusTopology((4, 4, 4))
+        assert topo.route(5, 5) == []
+
+    def test_max_hops(self):
+        assert TorusTopology((8, 8, 8), torus=True).max_hops() == 12
+        assert TorusTopology((8, 8, 8), torus=False).max_hops() == 21
+
+    @given(st.integers(min_value=0, max_value=63), st.integers(min_value=0, max_value=63))
+    def test_property_route_length_is_distance(self, a, b):
+        topo = TorusTopology((4, 4, 4), torus=True)
+        assert len(topo.route(a, b)) == topo.hop_distance(a, b)
+
+    @given(st.integers(min_value=0, max_value=63), st.integers(min_value=0, max_value=63))
+    def test_property_distance_symmetric(self, a, b):
+        topo = TorusTopology((4, 4, 4), torus=True)
+        assert topo.hop_distance(a, b) == topo.hop_distance(b, a)
+
+    @given(
+        st.integers(min_value=0, max_value=26),
+        st.integers(min_value=0, max_value=26),
+        st.booleans(),
+    )
+    def test_property_route_reaches_destination(self, a, b, torus):
+        topo = TorusTopology((3, 3, 3), torus=torus)
+        here = a
+        for node, dim, step in topo.route(a, b):
+            assert node == here
+            nxt = topo.neighbor(here, dim, step)
+            assert nxt is not None
+            here = nxt
+        assert here == b
+
+    @given(st.integers(min_value=0, max_value=511), st.integers(min_value=0, max_value=511))
+    def test_property_distance_bounded_by_diameter(self, a, b):
+        topo = TorusTopology((8, 8, 8), torus=True)
+        assert topo.hop_distance(a, b) <= topo.max_hops()
+
+
+class TestTorusNetworkTransfers:
+    def test_single_hop_time_matches_model(self):
+        sim, net = make_net()
+        nbytes = 100_000
+        t = sim.run_process(net.transfer(0, 1, nbytes))
+        assert sim.now == pytest.approx(BGP_SPEC.torus.message_time(nbytes, hops=1))
+
+    def test_multi_hop_time(self):
+        sim, net = make_net()
+        topo = net.topology
+        src, dst = topo.node_at((0, 0, 0)), topo.node_at((2, 2, 0))
+        sim.run_process(net.transfer(src, dst, 1000))
+        assert sim.now == pytest.approx(BGP_SPEC.torus.message_time(1000, hops=4))
+
+    def test_self_transfer_cheap(self):
+        sim, net = make_net()
+        sim.run_process(net.transfer(3, 3, 10_000_000))
+        assert sim.now == pytest.approx(BGP_SPEC.torus.message_overhead)
+
+    def test_contention_serializes_shared_link(self):
+        """Two messages over the same directed link take twice as long."""
+        sim, net = make_net()
+        nbytes = 1_000_000
+        done = []
+
+        def send(i):
+            yield from net.transfer(0, 1, nbytes)
+            done.append((sim.now, i))
+
+        sim.spawn(send(0))
+        sim.spawn(send(1))
+        sim.run()
+        one = BGP_SPEC.torus.message_time(nbytes, 1)
+        assert done[0][0] == pytest.approx(one)
+        assert done[1][0] == pytest.approx(2 * one)
+
+    def test_opposite_directions_do_not_contend(self):
+        """Links are bidirectional: 0->1 and 1->0 proceed concurrently."""
+        sim, net = make_net()
+        nbytes = 1_000_000
+
+        def send(src, dst):
+            yield from net.transfer(src, dst, nbytes)
+
+        sim.spawn(send(0, 1))
+        sim.spawn(send(1, 0))
+        sim.run()
+        assert sim.now == pytest.approx(BGP_SPEC.torus.message_time(nbytes, 1))
+
+    def test_six_directions_concurrent(self):
+        """The key Section V fact: all six links usable simultaneously."""
+        sim, net = make_net((4, 4, 4))
+        topo = net.topology
+        center = topo.node_at((1, 1, 1))
+        nbytes = 500_000
+
+        for dim, step in DIRECTIONS:
+            dst = topo.neighbor(center, dim, step)
+            sim.spawn(net.transfer(center, dst, nbytes))
+        sim.run()
+        # All six transfers overlap: total time is one message time.
+        assert sim.now == pytest.approx(BGP_SPEC.torus.message_time(nbytes, 1))
+
+    def test_bytes_accounting(self):
+        sim, net = make_net()
+        sim.run_process(net.transfer(0, 1, 12345))
+        assert net.bytes_sent[0] == 12345
+        assert 1 not in net.bytes_sent
+
+    def test_concurrent_bidirectional_exchange_no_deadlock(self):
+        """A ring of simultaneous exchanges completes (deadlock-freedom)."""
+        sim, net = make_net((4, 1, 1))
+        n = 4
+        finished = []
+
+        def exchange(i):
+            right = net.topology.neighbor(i, 0, +1)
+            yield from net.transfer(i, right, 100_000)
+            finished.append(i)
+
+        for i in range(n):
+            sim.spawn(exchange(i))
+        sim.run()
+        assert sorted(finished) == list(range(n))
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=7),
+                st.integers(min_value=0, max_value=7),
+                st.integers(min_value=1, max_value=10**6),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_property_random_transfer_storm_completes(self, transfers):
+        """Arbitrary concurrent transfers never deadlock and all complete."""
+        sim, net = make_net((2, 2, 2))
+        done = []
+
+        def mover(src, dst, nb):
+            yield from net.transfer(src, dst, nb)
+            done.append((src, dst))
+
+        for src, dst, nb in transfers:
+            sim.spawn(mover(src, dst, nb))
+        sim.run()
+        assert len(done) == len(transfers)

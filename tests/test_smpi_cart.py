@@ -1,0 +1,136 @@
+"""Tests for repro.smpi.cart — Cartesian communicator and torus embedding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine import Machine, NodeMode
+from repro.smpi import CartComm, SimComm
+
+
+def make_cart(n_nodes=64, mode=NodeMode.SMP, dims=None, periodic=(True, True, True)):
+    machine = Machine(n_nodes, mode)
+    comm = SimComm(machine)
+    return CartComm(comm, dims=dims, periodic=periodic)
+
+
+class TestConstruction:
+    def test_default_dims_cover_ranks(self):
+        cart = make_cart(64, NodeMode.VN)
+        assert cart.dims == (4, 4, 16)
+
+    def test_custom_dims(self):
+        cart = make_cart(64, NodeMode.SMP, dims=(8, 8, 1))
+        assert cart.dims == (8, 8, 1)
+
+    def test_dims_must_cover(self):
+        machine = Machine(8)
+        with pytest.raises(ValueError):
+            CartComm(SimComm(machine), dims=(2, 2, 3))
+
+
+class TestCoordinates:
+    def test_roundtrip(self):
+        cart = make_cart(64)
+        for rank in range(64):
+            assert cart.rank_at(cart.coords(rank)) == rank
+
+    def test_coords_bounds(self):
+        cart = make_cart(8)
+        with pytest.raises(ValueError):
+            cart.coords(8)
+
+    def test_periodic_wrap(self):
+        cart = make_cart(64)  # 4x4x4
+        assert cart.rank_at((4, 0, 0)) == cart.rank_at((0, 0, 0))
+        assert cart.rank_at((-1, 0, 0)) == cart.rank_at((3, 0, 0))
+
+    def test_nonperiodic_wall(self):
+        cart = make_cart(64, periodic=(False, False, False))
+        assert cart.rank_at((4, 0, 0)) is None
+        assert cart.rank_at((-1, 0, 0)) is None
+
+
+class TestShift:
+    def test_shift_basic(self):
+        cart = make_cart(64)  # 4x4x4
+        rank = cart.rank_at((1, 1, 1))
+        src, dst = cart.shift(rank, 0, 1)
+        assert cart.coords(dst) == (2, 1, 1)
+        assert cart.coords(src) == (0, 1, 1)
+
+    def test_shift_wraps_periodic(self):
+        cart = make_cart(64)
+        rank = cart.rank_at((3, 0, 0))
+        _, dst = cart.shift(rank, 0, 1)
+        assert cart.coords(dst) == (0, 0, 0)
+
+    def test_shift_null_at_wall(self):
+        cart = make_cart(64, periodic=(False, True, True))
+        rank = cart.rank_at((3, 0, 0))
+        src, dst = cart.shift(rank, 0, 1)
+        assert dst is None
+        assert cart.coords(src) == (2, 0, 0)
+
+    def test_shift_distance_two(self):
+        """The paper's stencil reaches two neighbours deep."""
+        cart = make_cart(64)
+        rank = cart.rank_at((0, 0, 0))
+        src, dst = cart.shift(rank, 2, 2)
+        assert cart.coords(dst) == (0, 0, 2)
+        assert cart.coords(src) == (0, 0, 2)  # wraps: -2 % 4 == 2
+
+    def test_invalid_dim(self):
+        cart = make_cart(8)
+        with pytest.raises(ValueError):
+            cart.shift(0, 3, 1)
+
+    def test_neighbors_lists_six(self):
+        cart = make_cart(64)
+        neigh = cart.neighbors(0)
+        assert len(neigh) == 6
+        dims = [d for d, _, _ in neigh]
+        assert dims == [0, 0, 1, 1, 2, 2]
+
+    @given(st.integers(min_value=0, max_value=63), st.integers(min_value=0, max_value=2))
+    def test_property_shift_is_symmetric(self, rank, dim):
+        """dest's source is the original rank (periodic torus)."""
+        cart = make_cart(64)
+        _, dst = cart.shift(rank, dim, 1)
+        src_of_dst, _ = cart.shift(dst, dim, 1)
+        assert src_of_dst == rank
+
+
+class TestPhysicalEmbedding:
+    def test_smp_default_layout_is_physical_on_torus(self):
+        """On a real torus partition (>=512 nodes) the default Cart layout
+        embeds 1:1 — every Cartesian neighbour is one wire away."""
+        cart = make_cart(512, NodeMode.SMP)
+        assert cart.comm.machine.topology.torus
+        assert cart.max_neighbor_hops() == 1
+
+    def test_mesh_partition_penalizes_periodic_wraparound(self):
+        """Section V: partitions under 512 nodes only form a mesh, so
+        periodic boundaries must route across the whole dimension."""
+        cart = make_cart(64, NodeMode.SMP)  # 4x4x4 mesh
+        assert not cart.comm.machine.topology.torus
+        assert cart.max_neighbor_hops() == 3  # wrap = dimension size - 1
+
+    def test_mesh_nonperiodic_layout_is_physical(self):
+        """Without wrap-around, mesh neighbours are still one hop."""
+        cart = make_cart(64, NodeMode.SMP, periodic=(False, False, False))
+        assert cart.max_neighbor_hops() == 1
+
+    def test_vn_default_layout_is_physical(self):
+        """VN mode: the 4 ranks of a node extend Z; non-periodic neighbours
+        are intra-node (0 hops) or one wire (1 hop)."""
+        cart = make_cart(16, NodeMode.VN, periodic=(False, False, False))
+        assert cart.max_neighbor_hops() <= 1
+
+    def test_bad_layout_detected(self):
+        """A transposed layout produces multi-hop 'neighbours'."""
+        cart = make_cart(32, NodeMode.SMP, dims=(1, 1, 32))
+        assert cart.max_neighbor_hops() > 1
+
+    def test_hops_to_self_zero(self):
+        cart = make_cart(8)
+        assert cart.hops_to(0, 0) == 0

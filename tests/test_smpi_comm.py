@@ -1,0 +1,413 @@
+"""Tests for the simulated MPI layer: p2p semantics, thread modes, collectives."""
+
+import pytest
+
+from repro.des import SimulationError, Simulator
+from repro.machine import Machine, NodeMode
+from repro.machine.spec import BGP_SPEC
+from repro.smpi import SimComm, ThreadMode
+from repro.smpi.datatypes import ANY_SOURCE, ANY_TAG
+
+
+def make_comm(n_nodes=8, mode=NodeMode.SMP, thread_mode=ThreadMode.SINGLE):
+    machine = Machine(n_nodes, mode)
+    return machine, SimComm(machine, thread_mode)
+
+
+class TestPointToPoint:
+    def test_blocking_send_recv(self):
+        machine, comm = make_comm()
+        got = []
+
+        def sender(ctx):
+            yield from ctx.send(1, 1000, tag=7, payload="hello")
+
+        def receiver(ctx):
+            status = yield from ctx.recv(src=0, tag=7)
+            got.append((status.source, status.tag, status.nbytes))
+
+        machine.sim.spawn(sender(comm.context(0)))
+        machine.sim.spawn(receiver(comm.context(1)))
+        machine.sim.run()
+        assert got == [(0, 7, 1000)]
+
+    def test_payload_passes_through(self):
+        machine, comm = make_comm()
+
+        def sender(ctx):
+            yield from ctx.send(1, 8, payload={"x": 42})
+
+        def receiver(ctx):
+            req = yield from ctx.irecv(src=0)
+            payload = yield req.event
+            return payload
+
+        machine.sim.spawn(sender(comm.context(0)))
+        proc = machine.sim.spawn(receiver(comm.context(1)))
+        machine.sim.run()
+        assert proc.value == {"x": 42}
+
+    def test_transfer_time_matches_network_model(self):
+        machine, comm = make_comm()
+        nbytes = 200_000
+
+        def sender(ctx):
+            yield from ctx.send(1, nbytes)
+
+        def receiver(ctx):
+            yield from ctx.recv(src=0)
+
+        machine.sim.spawn(sender(comm.context(0)))
+        machine.sim.spawn(receiver(comm.context(1)))
+        machine.sim.run()
+        hops = machine.topology.hop_distance(0, 1)
+        assert machine.sim.now == pytest.approx(
+            BGP_SPEC.torus.message_time(nbytes, hops)
+        )
+
+    def test_recv_before_send(self):
+        """A posted receive completes when the message later arrives."""
+        machine, comm = make_comm()
+        times = []
+
+        def receiver(ctx):
+            status = yield from ctx.recv(src=0)
+            times.append(machine.sim.now)
+            assert status.nbytes == 500
+
+        def sender(ctx):
+            yield machine.sim.timeout(1.0)
+            yield from ctx.send(1, 500)
+
+        machine.sim.spawn(receiver(comm.context(1)))
+        machine.sim.spawn(sender(comm.context(0)))
+        machine.sim.run()
+        assert times[0] > 1.0
+
+    def test_unexpected_message_queued(self):
+        """A message arriving before its recv is buffered, not lost."""
+        machine, comm = make_comm()
+        got = []
+
+        def sender(ctx):
+            yield from ctx.send(1, 100, tag=3)
+
+        def late_receiver(ctx):
+            yield machine.sim.timeout(10.0)
+            status = yield from ctx.recv(src=0, tag=3)
+            got.append(status.tag)
+
+        machine.sim.spawn(sender(comm.context(0)))
+        machine.sim.spawn(late_receiver(comm.context(1)))
+        machine.sim.run()
+        assert got == [3]
+
+    def test_tag_matching_selects_correct_message(self):
+        machine, comm = make_comm()
+        order = []
+
+        def sender(ctx):
+            yield from ctx.send(1, 100, tag=1, payload="first")
+            yield from ctx.send(1, 100, tag=2, payload="second")
+
+        def receiver(ctx):
+            req2 = yield from ctx.irecv(src=0, tag=2)
+            req1 = yield from ctx.irecv(src=0, tag=1)
+            p2 = yield req2.event
+            p1 = yield req1.event
+            order.extend([p2, p1])
+
+        machine.sim.spawn(sender(comm.context(0)))
+        machine.sim.spawn(receiver(comm.context(1)))
+        machine.sim.run()
+        assert order == ["second", "first"]
+
+    def test_any_source_any_tag(self):
+        machine, comm = make_comm()
+        got = []
+
+        def sender(ctx, tag):
+            yield from ctx.send(2, 64, tag=tag)
+
+        def receiver(ctx):
+            for _ in range(2):
+                status = yield from ctx.recv(src=ANY_SOURCE, tag=ANY_TAG)
+                got.append(status.source)
+
+        machine.sim.spawn(sender(comm.context(0), 5))
+        machine.sim.spawn(sender(comm.context(1), 6))
+        machine.sim.spawn(receiver(comm.context(2)))
+        machine.sim.run()
+        assert sorted(got) == [0, 1]
+
+    def test_fifo_non_overtaking_same_pair(self):
+        """Messages between one (src, dst, tag) pair arrive in send order."""
+        machine, comm = make_comm()
+        got = []
+
+        def sender(ctx):
+            for i in range(4):
+                yield from ctx.send(1, 50_000, tag=0, payload=i)
+
+        def receiver(ctx):
+            for _ in range(4):
+                req = yield from ctx.irecv(src=0, tag=0)
+                payload = yield req.event
+                got.append(payload)
+
+        machine.sim.spawn(sender(comm.context(0)))
+        machine.sim.spawn(receiver(comm.context(1)))
+        machine.sim.run()
+        assert got == [0, 1, 2, 3]
+
+    def test_isend_waitall_overlaps_transfers(self):
+        """Non-blocking sends in different directions overlap (section V)."""
+        machine, comm = make_comm(8)
+        nbytes = 1_000_000
+
+        def sender(ctx):
+            reqs = []
+            for dst, tag in ((1, 0), (2, 1), (4, 2)):
+                req = yield from ctx.isend(dst, nbytes, tag=tag)
+                reqs.append(req)
+            yield from ctx.waitall(reqs)
+
+        def receiver(ctx, tag):
+            yield from ctx.recv(src=0, tag=tag)
+
+        machine.sim.spawn(sender(comm.context(0)))
+        # nodes 1, 2, 4 are distinct neighbours of node 0 in a 2x2x2 mesh
+        machine.sim.spawn(receiver(comm.context(1), 0))
+        machine.sim.spawn(receiver(comm.context(2), 1))
+        machine.sim.spawn(receiver(comm.context(4), 2))
+        machine.sim.run()
+        one = BGP_SPEC.torus.message_time(nbytes, 1)
+        assert machine.sim.now == pytest.approx(one, rel=0.01)
+
+    def test_intranode_send_is_cheap_in_vn_mode(self):
+        """VN-mode ranks on one node exchange via memcpy, not the torus."""
+        machine, comm = make_comm(2, NodeMode.VN)
+        assert machine.partition.node_of_rank(0) == machine.partition.node_of_rank(1)
+
+        def sender(ctx):
+            yield from ctx.send(1, 10_000_000)
+
+        def receiver(ctx):
+            yield from ctx.recv(src=0)
+
+        machine.sim.spawn(sender(comm.context(0)))
+        machine.sim.spawn(receiver(comm.context(1)))
+        machine.sim.run()
+        assert machine.sim.now == pytest.approx(BGP_SPEC.torus.message_overhead)
+
+    def test_invalid_dst_rejected(self):
+        machine, comm = make_comm(2)
+
+        def bad(ctx):
+            yield from ctx.send(99, 100)
+
+        with pytest.raises(ValueError):
+            machine.sim.run_process(bad(comm.context(0)))
+
+    def test_negative_bytes_rejected(self):
+        machine, comm = make_comm(2)
+
+        def bad(ctx):
+            yield from ctx.send(1, -5)
+
+        with pytest.raises(ValueError):
+            machine.sim.run_process(bad(comm.context(0)))
+
+    def test_context_rank_bounds(self):
+        _, comm = make_comm(2)
+        with pytest.raises(ValueError):
+            comm.context(2)
+
+    def test_accounting(self):
+        machine, comm = make_comm()
+
+        def sender(ctx):
+            yield from ctx.send(1, 1234)
+
+        def receiver(ctx):
+            yield from ctx.recv()
+
+        machine.sim.spawn(sender(comm.context(0)))
+        machine.sim.spawn(receiver(comm.context(1)))
+        machine.sim.run()
+        assert comm.messages_sent == 1
+        assert comm.bytes_sent == 1234
+
+
+class TestThreadModes:
+    def test_single_mode_detects_concurrent_calls(self):
+        """Section III-A: SINGLE forbids concurrent calls; we detect misuse."""
+        machine, comm = make_comm(2, NodeMode.SMP, ThreadMode.SINGLE)
+        ctx = comm.context(0)
+        p1 = machine.sim.spawn(thread_gen(ctx, 0))
+        p2 = machine.sim.spawn(thread_gen(ctx, 1))
+        machine.sim.spawn(recv_gen(comm.context(1)))
+        machine.sim.run()
+        assert any(
+            p.triggered and not p.ok and isinstance(p.value, SimulationError)
+            for p in (p1, p2)
+        )
+
+    def test_multiple_mode_allows_concurrent_calls(self):
+        machine, comm = make_comm(2, NodeMode.SMP, ThreadMode.MULTIPLE)
+        ctx = comm.context(0)
+        p1 = machine.sim.spawn(thread_gen(ctx, 0))
+        p2 = machine.sim.spawn(thread_gen(ctx, 1))
+        machine.sim.spawn(recv_gen(comm.context(1)))
+        machine.sim.run()
+        assert p1.ok and p2.ok
+
+    def test_multiple_mode_pays_lock_overhead(self):
+        """Every MPI call in MULTIPLE costs the lock overhead."""
+        overhead = BGP_SPEC.threads.mpi_multiple_overhead
+
+        def one_isend(comm):
+            ctx = comm.context(0)
+
+            def proc():
+                req = yield from ctx.isend(1, 0)
+                yield req.event
+
+            return proc
+
+        m_single, c_single = make_comm(2, NodeMode.SMP, ThreadMode.SINGLE)
+        m_single.sim.spawn(recv_gen(c_single.context(1)))
+        m_single.sim.spawn(one_isend(c_single)())
+        t_single = m_single.sim.run()
+
+        m_multi, c_multi = make_comm(2, NodeMode.SMP, ThreadMode.MULTIPLE)
+        m_multi.sim.spawn(recv_gen(c_multi.context(1)))
+        m_multi.sim.spawn(one_isend(c_multi)())
+        t_multi = m_multi.sim.run()
+
+        assert t_multi == pytest.approx(t_single + 2 * overhead)
+
+    def test_multiple_mode_lock_serializes_threads(self):
+        """Concurrent calls from one rank's threads queue on the MPI lock."""
+        machine, comm = make_comm(2, NodeMode.SMP, ThreadMode.MULTIPLE)
+        ctx = comm.context(0)
+        overhead = BGP_SPEC.threads.mpi_multiple_overhead
+        n_threads = 4
+        start_times = []
+
+        def thread():
+            t0 = machine.sim.now
+            req = yield from ctx.isend(1, 0)
+            start_times.append(machine.sim.now - t0)
+            yield req.event
+
+        def receiver(rctx):
+            for _ in range(n_threads):
+                yield from rctx.recv()
+
+        for _ in range(n_threads):
+            machine.sim.spawn(thread())
+        machine.sim.spawn(receiver(comm.context(1)))
+        machine.sim.run()
+        # The k-th thread leaves the lock at (k+1) * overhead.
+        assert sorted(start_times)[-1] == pytest.approx(n_threads * overhead)
+
+
+def thread_gen(ctx, tag):
+    yield from ctx.send(1, 5_000_000, tag=tag)
+
+
+def recv_gen(ctx):
+    yield from ctx.recv(tag=0)
+    yield from ctx.recv(tag=1)
+
+
+class TestCollectives:
+    def test_barrier_releases_all_together(self):
+        machine, comm = make_comm(4)
+        times = []
+
+        def proc(rank, delay):
+            ctx = comm.context(rank)
+            yield machine.sim.timeout(delay)
+            yield from ctx.barrier()
+            times.append(machine.sim.now)
+
+        for rank, delay in enumerate((0.0, 1.0, 2.0, 3.0)):
+            machine.sim.spawn(proc(rank, delay))
+        machine.sim.run()
+        assert len(times) == 4
+        assert all(t == pytest.approx(times[0]) for t in times)
+        assert times[0] >= 3.0
+
+    def test_barrier_reusable(self):
+        machine, comm = make_comm(2)
+        checkpoints = []
+
+        def proc(rank):
+            ctx = comm.context(rank)
+            for i in range(3):
+                yield from ctx.barrier()
+                checkpoints.append((i, rank))
+
+        machine.sim.spawn(proc(0))
+        machine.sim.spawn(proc(1))
+        machine.sim.run()
+        assert len(checkpoints) == 6
+        rounds = [i for i, _ in checkpoints]
+        assert rounds == sorted(rounds)
+
+    def test_allreduce_pays_tree_time(self):
+        machine, comm = make_comm(16)
+        nbytes = 1_000_000
+
+        def proc(rank):
+            yield from comm.context(rank).allreduce(nbytes)
+
+        for rank in range(16):
+            machine.sim.spawn(proc(rank))
+        machine.sim.run()
+        assert machine.sim.now == pytest.approx(
+            BGP_SPEC.tree.collective_time(nbytes, 16)
+        )
+
+    def test_allreduce_negative_bytes(self):
+        machine, comm = make_comm(2)
+
+        def bad(ctx):
+            yield from ctx.allreduce(-1)
+
+        with pytest.raises(ValueError):
+            machine.sim.run_process(bad(comm.context(0)))
+
+
+class TestRankContext:
+    def test_default_core_assignment_vn(self):
+        machine, comm = make_comm(2, NodeMode.VN)
+        # ranks 0-3 on node 0, cores 0-3
+        for rank in range(4):
+            ctx = comm.context(rank)
+            assert ctx.node == 0
+            assert ctx.core == rank
+
+    def test_default_core_assignment_smp(self):
+        machine, comm = make_comm(4, NodeMode.SMP)
+        ctx = comm.context(2)
+        assert ctx.node == 2
+        assert ctx.core == 0
+
+    def test_on_core_clones_context(self):
+        machine, comm = make_comm(2, NodeMode.SMP)
+        ctx = comm.context(0)
+        t3 = ctx.on_core(3)
+        assert t3.rank == ctx.rank and t3.node == ctx.node and t3.core == 3
+
+    def test_compute_occupies_named_core(self):
+        machine, comm = make_comm(2, NodeMode.SMP)
+        ctx = comm.context(0)
+        machine.sim.spawn(ctx.compute(1.0))
+        machine.sim.spawn(ctx.on_core(1).compute(1.0))
+        machine.sim.run()
+        assert machine.sim.now == pytest.approx(1.0)
+        assert machine.node(0).core_busy[0] == pytest.approx(1.0)
+        assert machine.node(0).core_busy[1] == pytest.approx(1.0)

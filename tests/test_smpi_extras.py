@@ -1,0 +1,128 @@
+"""Tests for sendrecv, bcast and reduce on the simulated MPI layer."""
+
+import pytest
+
+from repro.machine import Machine, NodeMode
+from repro.machine.spec import BGP_SPEC
+from repro.smpi import SimComm
+
+
+def make(n_nodes=8):
+    machine = Machine(n_nodes, NodeMode.SMP)
+    return machine, SimComm(machine)
+
+
+class TestSendrecv:
+    def test_ring_shift_completes(self):
+        """The canonical use: every rank shifts one step right."""
+        machine, comm = make(4)
+        results = []
+
+        def proc(rank):
+            ctx = comm.context(rank)
+            right = (rank + 1) % 4
+            left = (rank - 1) % 4
+            status = yield from ctx.sendrecv(right, 1000, src=left)
+            results.append((rank, status.source))
+
+        for rank in range(4):
+            machine.sim.spawn(proc(rank))
+        machine.sim.run()
+        assert sorted(results) == [(r, (r - 1) % 4) for r in range(4)]
+
+    def test_send_and_recv_both_complete(self):
+        """sendrecv returns only when *both* halves are done."""
+        machine, comm = make(2)
+
+        def late_receiver(ctx):
+            yield machine.sim.timeout(1.0)  # delays rank 0's send completion?
+            yield from ctx.recv(src=0, tag=0)
+            yield from ctx.send(0, 100, tag=1)
+
+        def proc(ctx):
+            status = yield from ctx.sendrecv(1, 100, src=1, send_tag=0, recv_tag=1)
+            return machine.sim.now, status.nbytes
+
+        machine.sim.spawn(late_receiver(comm.context(1)))
+        p = machine.sim.spawn(proc(comm.context(0)))
+        machine.sim.run()
+        t, nbytes = p.value
+        assert t > 1.0  # waited for the (delayed) incoming half
+        assert nbytes == 100
+
+    def test_distinct_tags(self):
+        machine, comm = make(2)
+        got = []
+
+        def a(ctx):
+            status = yield from ctx.sendrecv(1, 10, src=1, send_tag=7, recv_tag=9)
+            got.append(status.tag)
+
+        def b(ctx):
+            status = yield from ctx.sendrecv(0, 20, src=0, send_tag=9, recv_tag=7)
+            got.append(status.tag)
+
+        machine.sim.spawn(a(comm.context(0)))
+        machine.sim.spawn(b(comm.context(1)))
+        machine.sim.run()
+        assert sorted(got) == [7, 9]
+
+
+class TestTreeCollectives:
+    @pytest.mark.parametrize("op", ["bcast", "reduce", "allreduce"])
+    def test_all_ranks_finish_together(self, op):
+        machine, comm = make(8)
+        times = []
+
+        def proc(rank):
+            ctx = comm.context(rank)
+            yield from getattr(ctx, op)(10_000)
+            times.append(machine.sim.now)
+
+        for rank in range(8):
+            machine.sim.spawn(proc(rank))
+        machine.sim.run()
+        assert len(times) == 8
+        assert all(t == pytest.approx(times[0]) for t in times)
+
+    @pytest.mark.parametrize("op", ["bcast", "reduce"])
+    def test_tree_timing(self, op):
+        machine, comm = make(16)
+        nbytes = 500_000
+
+        def proc(rank):
+            yield from getattr(comm.context(rank), op)(nbytes)
+
+        for rank in range(16):
+            machine.sim.spawn(proc(rank))
+        machine.sim.run()
+        assert machine.sim.now == pytest.approx(
+            BGP_SPEC.tree.collective_time(nbytes, 16)
+        )
+
+    def test_negative_bytes_rejected(self):
+        machine, comm = make(2)
+
+        def bad(ctx):
+            yield from ctx.bcast(-1)
+
+        with pytest.raises(ValueError):
+            machine.sim.run_process(bad(comm.context(0)))
+
+    def test_mixed_collectives_do_not_cross(self):
+        """A bcast round and a reduce round are separate rendezvous."""
+        machine, comm = make(2)
+        order = []
+
+        def proc(rank):
+            ctx = comm.context(rank)
+            yield from ctx.bcast(100)
+            order.append(("bcast", rank))
+            yield from ctx.reduce(100)
+            order.append(("reduce", rank))
+
+        for rank in range(2):
+            machine.sim.spawn(proc(rank))
+        machine.sim.run()
+        kinds = [k for k, _ in order]
+        assert kinds == ["bcast", "bcast", "reduce", "reduce"]

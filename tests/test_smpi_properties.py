@@ -1,0 +1,100 @@
+"""Property-based tests of the simulated MPI layer + placement ablation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FDJob, FLAT_OPTIMIZED, HYBRID_MULTIPLE, simulate_fd
+from repro.grid import GridDescriptor
+from repro.machine import Machine, NodeMode
+from repro.smpi import SimComm, ThreadMode
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=7),  # src
+            st.integers(min_value=0, max_value=7),  # dst
+            st.integers(min_value=0, max_value=3),  # tag
+            st.integers(min_value=0, max_value=10**6),  # bytes
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_property_every_message_is_delivered(messages):
+    """Arbitrary send/recv patterns complete and deliver exactly once."""
+    machine = Machine(8, NodeMode.SMP)
+    # MULTIPLE: the generated patterns may issue concurrent calls from one
+    # rank (e.g. a self-send), which SINGLE mode correctly rejects.
+    comm = SimComm(machine, ThreadMode.MULTIPLE)
+    received = []
+
+    # group by (src, dst, tag) so each recv is unambiguous
+    for i, (src, dst, tag, nbytes) in enumerate(messages):
+        def sender(ctx=comm.context(src), dst=dst, nbytes=nbytes, tag=tag, i=i):
+            yield from ctx.send(dst, nbytes, tag=tag * 1000 + i)
+
+        def receiver(ctx=comm.context(dst), src=src, tag=tag, i=i, nbytes=nbytes):
+            status = yield from ctx.recv(src=src, tag=tag * 1000 + i)
+            received.append((status.source, status.nbytes))
+
+        machine.sim.spawn(sender())
+        machine.sim.spawn(receiver())
+    machine.sim.run()
+    assert len(received) == len(messages)
+    assert comm.messages_sent == len(messages)
+    assert comm.bytes_sent == sum(m[3] for m in messages)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=2, max_value=16), st.integers(min_value=1, max_value=4))
+def test_property_barrier_rounds_synchronize(n_ranks, rounds):
+    """After barrier k, every rank has completed its pre-barrier work."""
+    # pick a node count the partition accepts
+    machine = Machine(n_ranks, NodeMode.SMP)
+    comm = SimComm(machine)
+    log = []
+
+    def proc(rank):
+        ctx = comm.context(rank)
+        for r in range(rounds):
+            yield machine.sim.timeout(0.001 * (rank + 1))
+            log.append(("work", r, rank))
+            yield from ctx.barrier()
+            log.append(("past", r, rank))
+
+    for rank in range(n_ranks):
+        machine.sim.spawn(proc(rank))
+    machine.sim.run()
+    # in every round, all "work" entries precede all "past" entries
+    for r in range(rounds):
+        events = [(kind, rank) for kind, rr, rank in log if rr == r]
+        first_past = next(i for i, (k, _) in enumerate(events) if k == "past")
+        assert all(k == "past" for k, _ in events[first_past:])
+        assert sum(1 for k, _ in events if k == "work") == n_ranks
+
+
+class TestPlacementAblation:
+    def test_spread_never_faster_than_cyclic(self):
+        job = FDJob(GridDescriptor((48, 48, 48)), 8)
+        cyc = simulate_fd(job, FLAT_OPTIMIZED, 32, 2, placement="cyclic")
+        spr = simulate_fd(job, FLAT_OPTIMIZED, 32, 2, placement="spread")
+        assert spr.total >= cyc.total
+
+    def test_placement_does_not_change_traffic_volume(self):
+        job = FDJob(GridDescriptor((48, 48, 48)), 8)
+        cyc = simulate_fd(job, FLAT_OPTIMIZED, 32, 2, placement="cyclic")
+        spr = simulate_fd(job, FLAT_OPTIMIZED, 32, 2, placement="spread")
+        assert cyc.messages == spr.messages
+
+    def test_cyclic_requires_divisibility(self):
+        # flat @24 cores: domain grid (2,3,4) does not divide node grid (1,2,3)
+        job = FDJob(GridDescriptor((48, 48, 48)), 4)
+        with pytest.raises(ValueError, match="cyclic placement"):
+            simulate_fd(job, FLAT_OPTIMIZED, 24, placement="cyclic")
+
+    def test_invalid_placement_rejected(self):
+        job = FDJob(GridDescriptor((48, 48, 48)), 4)
+        with pytest.raises(ValueError, match="placement"):
+            simulate_fd(job, FLAT_OPTIMIZED, 8, placement="random")

@@ -1,0 +1,226 @@
+"""Tests for the stencil coefficients and kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stencil import (
+    StencilCoefficients,
+    apply_stencil_global,
+    apply_stencil_padded,
+    flops_per_point,
+    laplacian_coefficients,
+    paper_constants,
+)
+from repro.stencil.coefficients import coefficients_sum
+from repro.stencil.reference import apply_stencil_naive
+
+
+class TestCoefficients:
+    def test_radius2_is_13_points(self):
+        st2 = laplacian_coefficients(2)
+        assert st2.radius == 2
+        assert st2.n_points == 13
+
+    def test_radius2_classic_weights(self):
+        st2 = laplacian_coefficients(2, spacing=1.0)
+        assert st2.center == pytest.approx(3 * -2.5)
+        assert st2.weights[0] == pytest.approx(4 / 3)
+        assert st2.weights[1] == pytest.approx(-1 / 12)
+
+    def test_spacing_scales_inverse_square(self):
+        fine = laplacian_coefficients(2, spacing=0.5)
+        coarse = laplacian_coefficients(2, spacing=1.0)
+        assert fine.center == pytest.approx(4 * coarse.center)
+
+    @pytest.mark.parametrize("radius", [1, 2, 3, 4])
+    def test_weights_sum_to_zero(self, radius):
+        """A constant field has zero Laplacian."""
+        assert coefficients_sum(laplacian_coefficients(radius)) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            laplacian_coefficients(0)
+        with pytest.raises(ValueError):
+            laplacian_coefficients(5)
+
+    def test_invalid_spacing(self):
+        with pytest.raises(ValueError):
+            laplacian_coefficients(2, spacing=-1.0)
+
+    def test_paper_constants_layout(self):
+        c = paper_constants()
+        assert len(c) == 13
+        st2 = laplacian_coefficients(2)
+        assert c[0] == st2.center
+        # distance-1 pairs: C2/C3 (x), C6/C7 (y), C10/C11 (z)
+        for i in (1, 2, 5, 6, 9, 10):
+            assert c[i] == st2.weights[0]
+        # distance-2 pairs: C4/C5, C8/C9, C12/C13
+        for i in (3, 4, 7, 8, 11, 12):
+            assert c[i] == st2.weights[1]
+
+    def test_scale(self):
+        st2 = laplacian_coefficients(2)
+        kinetic = st2.scale(-0.5)
+        assert kinetic.center == pytest.approx(-0.5 * st2.center)
+        assert kinetic.weights[1] == pytest.approx(-0.5 * st2.weights[1])
+
+    def test_flops_per_point(self):
+        assert flops_per_point(laplacian_coefficients(2)) == 25
+        assert flops_per_point(laplacian_coefficients(1)) == 13
+
+
+class TestGlobalKernel:
+    def test_constant_field_zero_laplacian_periodic(self):
+        st2 = laplacian_coefficients(2)
+        a = np.full((8, 8, 8), 3.7)
+        out = apply_stencil_global(a, st2)
+        np.testing.assert_allclose(out, 0.0, atol=1e-12)
+
+    def test_plane_wave_eigenfunction(self):
+        """exp(ikx) is an eigenfunction of the discrete periodic Laplacian."""
+        n, h = 16, 0.3
+        st2 = laplacian_coefficients(2, spacing=h)
+        x = np.arange(n) * h
+        k = 2 * np.pi / (n * h)
+        wave = np.exp(1j * k * x)[:, None, None] * np.ones((1, n, n))
+        out = apply_stencil_global(wave.astype(np.complex128), st2)
+        # discrete eigenvalue of the radius-2 second difference
+        w1, w2 = st2.weights
+        lam = 3 * (-2.5 / h**2) + 2 * w1 * np.cos(k * h) + 2 * w2 * np.cos(2 * k * h)
+        # subtract the y/z centre contributions already inside st2.center:
+        # centre = 3*c0; y and z directions contribute c0 + 2*(w1+w2) = 0 each
+        lam += 2 * (w1 + w2) * 2  # y and z neighbour terms on constant axes
+        np.testing.assert_allclose(out, lam * wave, rtol=1e-10)
+
+    def test_quadratic_exact_zero_boundary_interior(self):
+        """The FD Laplacian of x^2+y^2+z^2 is exactly 6 in the interior
+        (central differences are exact for quadratics)."""
+        n, h = 12, 0.25
+        st2 = laplacian_coefficients(2, spacing=h)
+        idx = np.arange(n) * h
+        X, Y, Z = np.meshgrid(idx, idx, idx, indexing="ij")
+        a = X**2 + Y**2 + Z**2
+        out = apply_stencil_global(a, st2, pbc=(False, False, False))
+        inner = out[2:-2, 2:-2, 2:-2]
+        np.testing.assert_allclose(inner, 6.0, rtol=1e-9)
+
+    @pytest.mark.parametrize("pbc", [(True, True, True), (False, False, False),
+                                     (True, False, True)])
+    @pytest.mark.parametrize("radius", [1, 2])
+    def test_matches_naive_reference(self, pbc, radius):
+        rng = np.random.default_rng(11)
+        a = rng.standard_normal((5, 6, 7))
+        st_r = laplacian_coefficients(radius, spacing=0.7)
+        fast = apply_stencil_global(a, st_r, pbc=pbc)
+        slow = apply_stencil_naive(a, st_r, pbc=pbc)
+        np.testing.assert_allclose(fast, slow, rtol=1e-12)
+
+    def test_too_small_periodic_grid_rejected(self):
+        st2 = laplacian_coefficients(2)
+        with pytest.raises(ValueError):
+            apply_stencil_global(np.zeros((1, 8, 8)), st2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_property_linearity(self, seed):
+        """stencil(a*x + b*y) == a*stencil(x) + b*stencil(y)."""
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((6, 6, 6))
+        y = rng.standard_normal((6, 6, 6))
+        a, b = rng.standard_normal(2)
+        st2 = laplacian_coefficients(2)
+        lhs = apply_stencil_global(a * x + b * y, st2)
+        rhs = a * apply_stencil_global(x, st2) + b * apply_stencil_global(y, st2)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_property_translation_equivariance_periodic(self, seed):
+        """Rolling the input rolls the output (periodic stencils commute
+        with translations)."""
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((6, 6, 6))
+        st2 = laplacian_coefficients(2)
+        rolled = apply_stencil_global(np.roll(a, 2, axis=0), st2)
+        np.testing.assert_allclose(
+            rolled, np.roll(apply_stencil_global(a, st2), 2, axis=0), atol=1e-10
+        )
+
+    def test_property_symmetric_operator(self):
+        """<x, L y> == <L x, y>: the discrete Laplacian is self-adjoint."""
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((6, 6, 6))
+        y = rng.standard_normal((6, 6, 6))
+        st2 = laplacian_coefficients(2)
+        lhs = np.vdot(x, apply_stencil_global(y, st2))
+        rhs = np.vdot(apply_stencil_global(x, st2), y)
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestPaddedKernel:
+    def test_matches_global_on_fully_padded_array(self):
+        """A globally periodic grid, manually padded, must reproduce the
+        global kernel's output."""
+        rng = np.random.default_rng(5)
+        a = rng.standard_normal((8, 7, 6))
+        w = 2
+        padded = np.pad(a, w, mode="wrap")
+        st2 = laplacian_coefficients(2, spacing=0.4)
+        out = apply_stencil_padded(padded, st2)
+        np.testing.assert_allclose(out, apply_stencil_global(a, st2), rtol=1e-12)
+
+    def test_zero_padding_matches_zero_boundary(self):
+        rng = np.random.default_rng(6)
+        a = rng.standard_normal((6, 6, 6))
+        padded = np.pad(a, 2, mode="constant")
+        st2 = laplacian_coefficients(2)
+        out = apply_stencil_padded(padded, st2)
+        np.testing.assert_allclose(
+            out, apply_stencil_global(a, st2, pbc=(False, False, False)), rtol=1e-12
+        )
+
+    def test_out_parameter_used(self):
+        a = np.random.default_rng(0).standard_normal((9, 9, 9))
+        st2 = laplacian_coefficients(2)
+        out = np.empty((5, 5, 5))
+        result = apply_stencil_padded(a, st2, out=out)
+        assert result is out
+
+    def test_out_shape_validated(self):
+        st2 = laplacian_coefficients(2)
+        with pytest.raises(ValueError):
+            apply_stencil_padded(np.zeros((9, 9, 9)), st2, out=np.zeros((4, 4, 4)))
+
+    def test_out_aliasing_rejected(self):
+        st2 = laplacian_coefficients(2)
+        padded = np.zeros((9, 9, 9))
+        with pytest.raises(ValueError):
+            apply_stencil_padded(padded, st2, out=padded[2:-2, 2:-2, 2:-2])
+
+    def test_too_small_padded_array_rejected(self):
+        st2 = laplacian_coefficients(2)
+        with pytest.raises(ValueError):
+            apply_stencil_padded(np.zeros((4, 9, 9)), st2)
+
+    def test_single_point_block(self):
+        """Blocks as small as 1^3 work (deep decompositions)."""
+        rng = np.random.default_rng(8)
+        padded = rng.standard_normal((5, 5, 5))
+        st2 = laplacian_coefficients(2)
+        out = apply_stencil_padded(padded, st2)
+        assert out.shape == (1, 1, 1)
+        expected = apply_stencil_naive(padded, st2, pbc=(False, False, False))
+        assert out[0, 0, 0] == pytest.approx(expected[2, 2, 2])
+
+    def test_complex_dtype(self):
+        rng = np.random.default_rng(9)
+        a = rng.standard_normal((6, 6, 6)) + 1j * rng.standard_normal((6, 6, 6))
+        padded = np.pad(a, 2, mode="wrap")
+        st2 = laplacian_coefficients(2)
+        out = apply_stencil_padded(padded, st2)
+        assert out.dtype == np.complex128
+        np.testing.assert_allclose(out, apply_stencil_global(a, st2), rtol=1e-12)

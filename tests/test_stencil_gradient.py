@@ -1,0 +1,145 @@
+"""Tests for the first-derivative (gradient) stencils."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stencil.gradient import (
+    apply_gradient_global,
+    apply_gradient_padded,
+    gradient_weights,
+)
+
+
+class TestWeights:
+    def test_radius1_classic(self):
+        assert gradient_weights(1) == (0.5,)
+
+    def test_radius2_classic(self):
+        w = gradient_weights(2)
+        assert w[0] == pytest.approx(2 / 3)
+        assert w[1] == pytest.approx(-1 / 12)
+
+    def test_spacing_scales_inverse(self):
+        assert gradient_weights(2, spacing=0.5)[0] == pytest.approx(4 / 3)
+
+    @pytest.mark.parametrize("radius", [1, 2, 3, 4])
+    def test_first_moment_is_one(self, radius):
+        """sum_d 2 d w_d = 1: the stencil differentiates x exactly."""
+        w = gradient_weights(radius)
+        assert sum(2 * d * wd for d, wd in enumerate(w, start=1)) == pytest.approx(1.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            gradient_weights(0)
+        with pytest.raises(ValueError):
+            gradient_weights(5)
+        with pytest.raises(ValueError):
+            gradient_weights(2, spacing=0)
+
+
+class TestGlobalGradient:
+    def test_derivative_of_sine(self):
+        n, h = 32, 2 * np.pi / 32
+        x = np.arange(n) * h
+        a = np.sin(x)[:, None, None] * np.ones((1, 4, 4))
+        d = apply_gradient_global(a, axis=0, spacing=h)
+        expected = np.cos(x)[:, None, None] * np.ones((1, 4, 4))
+        np.testing.assert_allclose(d, expected, atol=2e-4)
+
+    def test_constant_has_zero_gradient(self):
+        a = np.full((8, 8, 8), 3.0)
+        for axis in range(3):
+            np.testing.assert_allclose(
+                apply_gradient_global(a, axis), 0.0, atol=1e-12
+            )
+
+    def test_linear_ramp_exact_interior(self):
+        n = 10
+        idx = np.arange(n, dtype=float)
+        a = idx[:, None, None] * np.ones((1, n, n))
+        d = apply_gradient_global(a, axis=0, periodic=False)
+        np.testing.assert_allclose(d[2:-2], 1.0, atol=1e-12)
+
+    def test_axis_selection(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((6, 7, 8))
+        dx = apply_gradient_global(a, 0)
+        dy = apply_gradient_global(np.moveaxis(a, 1, 0), 0)
+        np.testing.assert_allclose(np.moveaxis(apply_gradient_global(a, 1), 1, 0), dy)
+        assert dx.shape == a.shape
+
+    def test_invalid_axis(self):
+        with pytest.raises(ValueError):
+            apply_gradient_global(np.zeros((4, 4, 4)), 3)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=2))
+    def test_property_antisymmetric_under_reflection(self, seed, axis):
+        """grad(flip(a)) == -flip(grad(a)) for periodic grids.
+
+        Reflection about index 0 (composed with the periodic wrap) maps the
+        +d neighbour to the -d neighbour, so the antisymmetric stencil
+        flips sign.
+        """
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((6, 6, 6))
+
+        def reflect(arr):
+            return np.roll(np.flip(arr, axis=axis), 1, axis=axis)
+
+        lhs = apply_gradient_global(reflect(a), axis)
+        rhs = -reflect(apply_gradient_global(a, axis))
+        np.testing.assert_allclose(lhs, rhs, atol=1e-10)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_property_linearity(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((5, 5, 5))
+        b = rng.standard_normal((5, 5, 5))
+        lhs = apply_gradient_global(a + 2 * b, 1)
+        rhs = apply_gradient_global(a, 1) + 2 * apply_gradient_global(b, 1)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-10)
+
+    def test_property_integration_by_parts(self):
+        """<f, d g> = -<d f, g> on a periodic grid (skew adjoint)."""
+        rng = np.random.default_rng(5)
+        f = rng.standard_normal((6, 6, 6))
+        g = rng.standard_normal((6, 6, 6))
+        lhs = np.vdot(f, apply_gradient_global(g, 2))
+        rhs = -np.vdot(apply_gradient_global(f, 2), g)
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestPaddedGradient:
+    def test_matches_global_on_wrapped_padding(self):
+        rng = np.random.default_rng(7)
+        a = rng.standard_normal((8, 7, 6))
+        padded = np.pad(a, 2, mode="wrap")
+        for axis in range(3):
+            got = apply_gradient_padded(padded, axis, radius=2, spacing=0.3)
+            want = apply_gradient_global(a, axis, radius=2, spacing=0.3)
+            np.testing.assert_allclose(got, want, atol=1e-12)
+
+    def test_matches_global_zero_boundary(self):
+        rng = np.random.default_rng(8)
+        a = rng.standard_normal((6, 6, 6))
+        padded = np.pad(a, 2, mode="constant")
+        got = apply_gradient_padded(padded, 0)
+        want = apply_gradient_global(a, 0, periodic=False)
+        np.testing.assert_allclose(got, want, atol=1e-12)
+
+    def test_out_parameter(self):
+        padded = np.random.default_rng(9).standard_normal((9, 9, 9))
+        out = np.ones((5, 5, 5))
+        result = apply_gradient_padded(padded, 0, out=out)
+        assert result is out
+
+    def test_out_shape_checked(self):
+        with pytest.raises(ValueError):
+            apply_gradient_padded(np.zeros((9, 9, 9)), 0, out=np.zeros((3, 3, 3)))
+
+    def test_too_small_padded(self):
+        with pytest.raises(ValueError):
+            apply_gradient_padded(np.zeros((4, 9, 9)), 0)

@@ -1,0 +1,205 @@
+"""Tests for the in-process functional transport."""
+
+import numpy as np
+import pytest
+
+from repro.transport import InprocTransport, TransportError, run_ranks
+from repro.transport.inproc import ANY_SOURCE, ANY_TAG
+
+
+class TestBasics:
+    def test_send_recv_roundtrip(self):
+        def fn(ep):
+            if ep.rank == 0:
+                ep.send(1, np.arange(10.0), tag=5)
+                return None
+            return ep.recv(src=0, tag=5)
+
+        results = run_ranks(2, fn)
+        np.testing.assert_array_equal(results[1], np.arange(10.0))
+
+    def test_payload_is_copied(self):
+        """Mutating the source array after isend must not corrupt the message."""
+
+        def fn(ep):
+            if ep.rank == 0:
+                a = np.ones(4)
+                ep.isend(1, a, tag=0)
+                a[:] = -1.0
+                ep.barrier()
+                return None
+            ep.barrier()
+            return ep.recv(src=0, tag=0)
+
+        results = run_ranks(2, fn)
+        np.testing.assert_array_equal(results[1], np.ones(4))
+
+    def test_noncontiguous_payload_handled(self):
+        def fn(ep):
+            if ep.rank == 0:
+                a = np.arange(16.0).reshape(4, 4)
+                ep.send(1, a[:, 1], tag=0)  # strided view
+                return None
+            return ep.recv(src=0, tag=0)
+
+        results = run_ranks(2, fn)
+        np.testing.assert_array_equal(results[1], [1.0, 5.0, 9.0, 13.0])
+
+    def test_tag_matching(self):
+        def fn(ep):
+            if ep.rank == 0:
+                ep.send(1, np.array([1.0]), tag=1)
+                ep.send(1, np.array([2.0]), tag=2)
+                return None
+            second = ep.recv(src=0, tag=2)
+            first = ep.recv(src=0, tag=1)
+            return (first[0], second[0])
+
+        results = run_ranks(2, fn)
+        assert results[1] == (1.0, 2.0)
+
+    def test_fifo_per_source_tag(self):
+        def fn(ep):
+            if ep.rank == 0:
+                for i in range(5):
+                    ep.send(1, np.array([float(i)]), tag=0)
+                return None
+            return [ep.recv(src=0, tag=0)[0] for _ in range(5)]
+
+        assert run_ranks(2, fn)[1] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_wildcards(self):
+        def fn(ep):
+            if ep.rank < 2:
+                ep.send(2, np.array([float(ep.rank)]), tag=ep.rank + 10)
+                return None
+            got = {ep.recv(src=ANY_SOURCE, tag=ANY_TAG)[0] for _ in range(2)}
+            return got
+
+        assert run_ranks(3, fn)[2] == {0.0, 1.0}
+
+    def test_irecv_waitall(self):
+        def fn(ep):
+            if ep.rank == 0:
+                handles = [ep.isend(1, np.full(3, float(t)), tag=t) for t in range(4)]
+                ep.waitall(handles)
+                return None
+            handles = [ep.irecv(src=0, tag=t) for t in range(4)]
+            payloads = ep.waitall(handles)
+            return [p[0] for p in payloads]
+
+        assert run_ranks(2, fn)[1] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_barrier_synchronizes(self):
+        order = []
+
+        def fn(ep):
+            if ep.rank == 0:
+                order.append("pre")
+            ep.barrier()
+            if ep.rank == 1:
+                order.append("post")
+            ep.barrier()
+
+        run_ranks(2, fn)
+        assert order == ["pre", "post"]
+
+    def test_recv_timeout_is_loud(self):
+        def fn(ep):
+            if ep.rank == 1:
+                with pytest.raises(TransportError, match="timed out"):
+                    ep.recv(src=0, tag=9, timeout=0.05)
+
+        run_ranks(2, fn)
+
+    def test_rank_error_propagates(self):
+        def fn(ep):
+            if ep.rank == 1:
+                raise ValueError("intentional")
+            ep.barrier()  # would hang forever without abort-on-error
+
+        with pytest.raises(TransportError, match="rank 1 failed"):
+            run_ranks(2, fn)
+
+    def test_invalid_dst(self):
+        def fn(ep):
+            if ep.rank == 0:
+                with pytest.raises(ValueError):
+                    ep.isend(5, np.zeros(1))
+
+        run_ranks(2, fn)
+
+    def test_stats_accounting(self):
+        tr = InprocTransport(2)
+
+        def fn(ep):
+            if ep.rank == 0:
+                ep.send(1, np.zeros(100), tag=0)  # 800 bytes
+            else:
+                ep.recv(src=0, tag=0)
+
+        run_ranks(2, fn, transport=tr)
+        assert tr.stats[0].messages == 1
+        assert tr.stats[0].bytes == 800
+        assert tr.stats[1].messages == 0
+
+    def test_endpoint_bounds(self):
+        tr = InprocTransport(2)
+        with pytest.raises(ValueError):
+            tr.endpoint(2)
+
+    def test_transport_size_mismatch(self):
+        with pytest.raises(ValueError):
+            run_ranks(3, lambda ep: None, transport=InprocTransport(2))
+
+
+class TestConcurrency:
+    def test_many_ranks_ring_exchange(self):
+        """Each rank sends to its right neighbour and receives from its left."""
+        n = 8
+
+        def fn(ep):
+            right = (ep.rank + 1) % n
+            left = (ep.rank - 1) % n
+            ep.isend(right, np.array([float(ep.rank)]), tag=0)
+            got = ep.recv(src=left, tag=0)
+            return got[0]
+
+        results = run_ranks(n, fn)
+        assert results == [float((r - 1) % n) for r in range(n)]
+
+    def test_all_to_all(self):
+        n = 4
+
+        def fn(ep):
+            for dst in range(n):
+                if dst != ep.rank:
+                    ep.isend(dst, np.array([float(ep.rank)]), tag=ep.rank)
+            got = sorted(
+                ep.recv(src=src, tag=src)[0] for src in range(n) if src != ep.rank
+            )
+            return got
+
+        results = run_ranks(n, fn)
+        for rank, got in enumerate(results):
+            assert got == sorted(float(s) for s in range(n) if s != rank)
+
+    def test_repeated_barriers(self):
+        n = 4
+        counter = {"v": 0}
+        lock = __import__("threading").Lock()
+
+        def fn(ep):
+            seen = []
+            for _ in range(5):
+                with lock:
+                    counter["v"] += 1
+                ep.barrier()
+                seen.append(counter["v"])
+                ep.barrier()
+            return seen
+
+        results = run_ranks(n, fn)
+        # After each barrier all n increments of the round are visible.
+        for seen in results:
+            assert seen == [n, 2 * n, 3 * n, 4 * n, 5 * n]

@@ -1,0 +1,63 @@
+"""Tests for the optional mpi4py transport adapter.
+
+This environment has no MPI, so the adapter's *behavioural* coverage here
+is the graceful-degradation path plus interface conformance (the adapter
+must present exactly the endpoint surface the engine consumes).  On a
+machine with mpi4py the same module works under ``mpirun`` unchanged.
+"""
+
+import inspect
+
+import pytest
+
+from repro.transport.inproc import RankEndpoint
+from repro.transport.mpi import (
+    MpiEndpoint,
+    MpiRecvHandle,
+    MpiSendHandle,
+    MpiUnavailableError,
+    mpi_available,
+)
+
+ENGINE_SURFACE = ["isend", "irecv", "recv", "send", "waitall", "barrier", "allreduce"]
+
+
+class TestAvailabilityProbe:
+    def test_probe_is_boolean(self):
+        assert mpi_available() in (True, False)
+
+    @pytest.mark.skipif(mpi_available(), reason="mpi4py present on this host")
+    def test_construction_fails_loudly_without_mpi4py(self):
+        with pytest.raises(MpiUnavailableError, match="mpi4py"):
+            MpiEndpoint()
+
+
+class TestInterfaceConformance:
+    """The adapter must expose the exact surface the inproc endpoint does
+    (the engine is written against it)."""
+
+    @pytest.mark.parametrize("method", ENGINE_SURFACE)
+    def test_method_present(self, method):
+        assert callable(getattr(MpiEndpoint, method))
+
+    @pytest.mark.parametrize("method", ENGINE_SURFACE)
+    def test_signatures_compatible(self, method):
+        """Positional parameters must match the inproc endpoint's."""
+        ours = inspect.signature(getattr(MpiEndpoint, method))
+        theirs = inspect.signature(getattr(RankEndpoint, method))
+        our_pos = [
+            p.name
+            for p in ours.parameters.values()
+            if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+        ]
+        their_pos = [
+            p.name
+            for p in theirs.parameters.values()
+            if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+        ]
+        assert our_pos == their_pos
+
+    def test_handles_expose_wait_and_complete(self):
+        for cls in (MpiRecvHandle, MpiSendHandle):
+            assert callable(cls.wait)
+            assert isinstance(inspect.getattr_static(cls, "complete"), property)
