@@ -63,3 +63,42 @@ def test_distributed_poisson_wall_time(benchmark):
                                       max_sweeps=5000)
     result = benchmark(solver.solve, rho)
     assert result.converged
+
+
+@pytest.mark.parametrize("batch", [1, 2, 4, 8])
+def test_engine_batch_size_sweep(benchmark, show, batch):
+    """Wall time of the optimized approach as the halo-exchange batch
+    grows: larger batches amortize per-message latency (section V-A)."""
+    n_grids, shape = 8, (24, 24, 24)
+    benchmark(run_engine, FLAT_OPTIMIZED, 4, n_grids, shape, batch)
+    points = n_grids * int(np.prod(shape))
+    rate = points / benchmark.stats.stats.mean
+    show(f"engine batch={batch}: {rate / 1e6:.1f} Mpoints/s")
+
+
+def test_engine_steady_state_with_out_reuse(benchmark, show):
+    """Steady-state apply with out= reuse — the zero-allocation path an
+    SCF loop takes after its first iteration."""
+    gd = GridDescriptor((24, 24, 24))
+    decomp = Decomposition(gd, 4)
+    engine = DistributedStencil(decomp, laplacian_coefficients(2, gd.spacing))
+    halo = HaloSpec(2)
+    blocks = {
+        gid: scatter(gd.random(seed=gid), decomp, halo) for gid in range(8)
+    }
+    state = {}
+
+    def rank_fn(ep):
+        mine = {gid: blocks[gid][ep.rank] for gid in blocks}
+        state[ep.rank] = engine.apply(
+            ep, mine, approach=FLAT_OPTIMIZED, batch_size=2,
+            out=state.get(ep.rank),
+        )
+
+    def run():
+        run_ranks(4, rank_fn)
+
+    run()  # warm the arena so the benchmark times the steady state
+    benchmark(run)
+    rate = 8 * 24**3 / benchmark.stats.stats.mean
+    show(f"steady-state engine (arena warm): {rate / 1e6:.1f} Mpoints/s")

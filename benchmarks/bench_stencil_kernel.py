@@ -7,10 +7,12 @@ halo scatter/gather, and the multigrid Poisson solver.
 """
 
 import numpy as np
+import pytest
 
 from repro.dft import PoissonSolver
 from repro.grid import Decomposition, GridDescriptor, HaloSpec, gather, scatter
 from repro.stencil import (
+    apply_stencil_batch,
     apply_stencil_global,
     apply_stencil_padded,
     laplacian_coefficients,
@@ -60,3 +62,57 @@ def test_multigrid_poisson_solve(benchmark):
 
     result = benchmark(solver.solve, rho)
     assert result.converged
+
+
+def _seed_kernel_with_alloc(padded, coeffs):
+    """The seed per-grid step, verbatim: a fresh zeroed padded output grid
+    per call, one temporary per stencil term, strided interior writes —
+    the baseline the fused kernels replace."""
+    w = coeffs.radius
+    out_grid = np.zeros(padded.shape, dtype=padded.dtype)
+    out = out_grid[w:-w, w:-w, w:-w]
+    np.multiply(padded[w:-w, w:-w, w:-w], coeffs.center, out=out)
+    for axis in range(3):
+        for dist in range(1, w + 1):
+            weight = coeffs.weights[dist - 1]
+            lo = [slice(w, -w)] * 3
+            hi = [slice(w, -w)] * 3
+            lo[axis] = slice(w - dist, -w - dist)
+            hi[axis] = slice(w + dist, padded.shape[axis] - w + dist or None)
+            out += weight * padded[tuple(lo)]
+            out += weight * padded[tuple(hi)]
+    return out
+
+
+@pytest.mark.parametrize("batch", [1, 8, 64])
+def test_batch_kernel_sweep(benchmark, show, batch):
+    """Fused batched kernel across batch sizes at the paper's 32^3 block."""
+    n = 32
+    coeffs = laplacian_coefficients(2)
+    rng = np.random.default_rng(3)
+    stack = rng.standard_normal((batch, n + 4, n + 4, n + 4))
+    out = np.empty((batch, n, n, n))
+    scratch = np.empty((n, n, n))
+
+    benchmark(apply_stencil_batch, stack, coeffs, out, scratch)
+
+    rate = batch * n**3 / benchmark.stats.stats.mean
+    show(f"batched stencil (batch={batch}): {rate / 1e6:.0f} Mpoints/s")
+    assert rate > 1e6
+
+
+@pytest.mark.parametrize("batch", [1, 8, 64])
+def test_seed_pattern_baseline_sweep(benchmark, show, batch):
+    """The pre-arena per-grid pattern (fresh output every call), for
+    comparison against test_batch_kernel_sweep on the same shapes."""
+    n = 32
+    coeffs = laplacian_coefficients(2)
+    rng = np.random.default_rng(3)
+    stack = rng.standard_normal((batch, n + 4, n + 4, n + 4))
+
+    def run():
+        return [_seed_kernel_with_alloc(stack[g], coeffs) for g in range(batch)]
+
+    benchmark(run)
+    rate = batch * n**3 / benchmark.stats.stats.mean
+    show(f"seed-pattern stencil (batch={batch}): {rate / 1e6:.0f} Mpoints/s")

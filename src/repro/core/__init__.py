@@ -9,6 +9,9 @@ Four programming approaches (section VI), one engine, two planes:
 * :mod:`repro.core.engine` — the functional engine: executes any approach
   on real NumPy grids over a transport, bit-identical to the sequential
   stencil.
+* :mod:`repro.core.workspace` — the buffer arena the engine borrows
+  scratch, output and halo message buffers from (zero-allocation steady
+  state).
 * :mod:`repro.core.simrun` — the same schedules driven through simulated
   MPI on the DES machine: exact message-level timing at small scale.
 * :mod:`repro.core.perfmodel` — the closed-form performance model used to
@@ -27,6 +30,7 @@ from repro.core.approaches import (
 )
 from repro.core.batching import batch_schedule
 from repro.core.engine import DistributedStencil, SequentialStencil
+from repro.core.workspace import Workspace
 from repro.core.perfmodel import FDJob, PerformanceModel, FDTiming
 from repro.core.simrun import simulate_fd
 from repro.core.wholeapp import ScfPhaseTimes, WholeAppModel
@@ -48,6 +52,7 @@ __all__ = [
     "batch_schedule",
     "DistributedStencil",
     "SequentialStencil",
+    "Workspace",
     "FDJob",
     "PerformanceModel",
     "FDTiming",

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.core.approaches import Approach, FLAT_OPTIMIZED
 from repro.core.batching import batch_schedule, split_among_workers
+from repro.core.workspace import Workspace
 from repro.grid.array import LocalGrid
 from repro.grid.decompose import Decomposition
 from repro.grid.grid import GridDescriptor
@@ -40,6 +41,7 @@ from repro.grid.halo import (
     HaloSpec,
     apply_local_wraps,
     halo_messages,
+    pack_slabs,
     zero_boundary_ghosts,
 )
 from repro.stencil.coefficients import StencilCoefficients, laplacian_coefficients
@@ -88,17 +90,29 @@ class DistributedStencil:
         decomp: Decomposition,
         coeffs: StencilCoefficients,
         compute_fn: "Callable[[np.ndarray, np.ndarray], None] | None" = None,
+        workspace: Optional[Workspace] = None,
     ):
         """``compute_fn(padded, out_interior)`` may replace the default
         Laplacian kernel by any operator of the same halo radius (e.g. a
         gradient component) — the exchange schedules are operator-agnostic.
+
+        ``workspace`` is the buffer arena every scratch and halo message
+        buffer is borrowed from; it is shared by all rank threads (a
+        received zero-copy message buffer is recycled by the *receiving*
+        rank).  One is created if not supplied.  After one warm-up
+        ``apply``, steady-state calls that reuse their output blocks
+        (``out=``) perform zero array allocations.
         """
         self.decomp = decomp
         self.coeffs = coeffs
         self.halo = HaloSpec(coeffs.radius)
+        self.workspace = workspace if workspace is not None else Workspace()
         if compute_fn is None:
             def compute_fn(padded: np.ndarray, out: np.ndarray) -> None:
-                apply_stencil_padded(padded, self.coeffs, out=out)
+                with self.workspace.borrowing(out.shape, out.dtype) as scratch:
+                    apply_stencil_padded(
+                        padded, self.coeffs, out=out, scratch=scratch
+                    )
 
         self._compute_fn = compute_fn
         self._outgoing: dict[int, list[HaloMessage]] = {}
@@ -117,13 +131,16 @@ class DistributedStencil:
         from repro.stencil.gradient import apply_gradient_padded
 
         coeffs = laplacian_coefficients(radius, spacing=decomp.grid.spacing)
+        workspace = Workspace()
 
         def compute_fn(padded: np.ndarray, out: np.ndarray) -> None:
-            apply_gradient_padded(
-                padded, axis, radius=radius, spacing=decomp.grid.spacing, out=out
-            )
+            with workspace.borrowing(out.shape, out.dtype) as scratch:
+                apply_gradient_padded(
+                    padded, axis, radius=radius, spacing=decomp.grid.spacing,
+                    out=out, scratch=scratch,
+                )
 
-        return cls(decomp, coeffs, compute_fn=compute_fn)
+        return cls(decomp, coeffs, compute_fn=compute_fn, workspace=workspace)
 
     # -- geometry caches ---------------------------------------------------
     def outgoing(self, rank: int) -> list[HaloMessage]:
@@ -167,12 +184,18 @@ class DistributedStencil:
         approach: Approach = FLAT_OPTIMIZED,
         batch_size: int = 1,
         ramp_up: bool = False,
+        out: "Optional[dict[int, LocalGrid]]" = None,
     ) -> dict[int, LocalGrid]:
         """Apply the stencil to every grid, using ``approach``'s schedule.
 
         ``ep`` is this rank's transport endpoint; ``grids`` maps grid ids to
-        this rank's padded blocks.  Returns new output blocks (ghosts zero).
+        this rank's padded blocks.  Returns output blocks (ghosts zero).
         All ranks must call with the same grid ids and parameters.
+
+        ``out`` may pass the previous call's result back in to be
+        overwritten — with it, steady-state calls allocate no arrays at
+        all (SCF iterations apply the same operator to the same grid set
+        thousands of times; this is where the allocator traffic goes).
         """
         if ep.size != self.decomp.n_domains:
             raise ValueError(
@@ -191,9 +214,22 @@ class DistributedStencil:
                 )
 
         grid_ids = sorted(grids)
-        out = {
-            gid: LocalGrid(self.decomp, ep.rank, self.halo) for gid in grid_ids
-        }
+        if out is None:
+            out = {
+                gid: LocalGrid(self.decomp, ep.rank, self.halo)
+                for gid in grid_ids
+            }
+        else:
+            if sorted(out) != grid_ids:
+                raise ValueError(
+                    f"out grid ids {sorted(out)} != input grid ids {grid_ids}"
+                )
+            for gid, lg in out.items():
+                if lg.domain != ep.rank:
+                    raise ValueError(
+                        f"out grid {gid}: LocalGrid belongs to domain "
+                        f"{lg.domain}, endpoint is rank {ep.rank}"
+                    )
         if not grid_ids:
             return out
 
@@ -215,23 +251,29 @@ class DistributedStencil:
     ) -> None:
         outgoing = self.outgoing(ep.rank)
         incoming = self.incoming(ep.rank)
+        ws = self.workspace
+        zero_copy = getattr(ep, "zero_copy_sends", False)
         for gid in grid_ids:
             lg = grids[gid]
             for dim in range(3):
                 # 1) post this dimension's sends, 2) block on its receives.
                 for m in outgoing:
                     if m.dim == dim:
+                        slab = lg.data[m.send_slices]
+                        buf = ws.borrow(slab.shape, slab.dtype)
+                        np.copyto(buf, slab)
                         ep.isend(
-                            m.dst_domain,
-                            lg.data[m.send_slices],
-                            tag=_tag(gid, m.tag),
+                            m.dst_domain, buf, tag=_tag(gid, m.tag), copy=False
                         )
+                        if not zero_copy:
+                            ws.release(buf)
                 for m in incoming:
                     if m.dim == dim:
                         payload = ep.recv(src=m.src_domain, tag=_tag(gid, m.tag))
                         lg.data[m.recv_slices] = payload.reshape(
                             lg.data[m.recv_slices].shape
                         )
+                        ws.release(payload)
             self._compute_one(lg, out[gid], ep.rank)
 
     # -- optimized approaches: concurrent exchange + double buffering ---------
@@ -282,12 +324,23 @@ class DistributedStencil:
         batch: list[int],
         seq: int,
     ) -> _Exchange:
-        """Initiate the exchange of one batch in all six directions."""
+        """Initiate the exchange of one batch in all six directions.
+
+        Each direction's slabs are packed into one message buffer borrowed
+        from the arena and handed to the transport without a copy; over a
+        zero-copy transport the receiving rank recycles the buffer after
+        unpacking it (the arena is shared), otherwise the sender reclaims
+        it as soon as the transport has snapshotted the payload.
+        """
+        ws = self.workspace
+        zero_copy = getattr(ep, "zero_copy_sends", False)
         for m in self.outgoing(ep.rank):
-            payload = np.concatenate(
-                [grids[gid].data[m.send_slices].ravel() for gid in batch]
-            )
-            ep.isend(m.dst_domain, payload, tag=_tag(seq, m.tag))
+            slab = grids[batch[0]].data[m.send_slices]
+            buf = ws.borrow((len(batch),) + slab.shape, slab.dtype)
+            pack_slabs([grids[gid].data for gid in batch], m.send_slices, buf)
+            ep.isend(m.dst_domain, buf, tag=_tag(seq, m.tag), copy=False)
+            if not zero_copy:
+                ws.release(buf)
         recvs = [
             (ep.irecv(src=m.src_domain, tag=_tag(seq, m.tag)), m)
             for m in self.incoming(ep.rank)
@@ -308,6 +361,7 @@ class DistributedStencil:
             per_grid = payload.reshape((len(exch.grid_ids),) + slab_shape)
             for i, gid in enumerate(exch.grid_ids):
                 grids[gid].data[m.recv_slices] = per_grid[i]
+            self.workspace.release(payload)
         for gid in exch.grid_ids:
             self._compute_one(grids[gid], out[gid], ep.rank)
 

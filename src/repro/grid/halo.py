@@ -22,7 +22,7 @@ slab span just the interior.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -164,3 +164,33 @@ def apply_local_wraps(
     for msg in messages:
         if msg.is_local_wrap:
             padded[msg.recv_slices] = padded[msg.send_slices]
+
+
+def pack_slabs(
+    sources: Sequence[np.ndarray], slices: Slices3, out: np.ndarray
+) -> np.ndarray:
+    """Pack one halo slab from each padded source array into ``out``.
+
+    ``out`` has shape ``(len(sources), *slab_shape)`` — typically a
+    contiguous message buffer borrowed from a workspace arena, so the
+    batched slabs can be handed to the transport without further copies.
+    """
+    for i, src in enumerate(sources):
+        np.copyto(out[i], src[slices])
+    return out
+
+
+def unpack_slabs(
+    payload: np.ndarray, targets: Sequence[np.ndarray], slices: Slices3
+) -> None:
+    """Scatter a packed message back into each padded target's ghost slab.
+
+    Inverse of :func:`pack_slabs`; ``payload`` may arrive flat (wire form)
+    and is viewed as ``(len(targets), *slab_shape)``.
+    """
+    if not targets:
+        return
+    slab_shape = targets[0][slices].shape
+    per_grid = payload.reshape((len(targets),) + slab_shape)
+    for i, dst in enumerate(targets):
+        dst[slices] = per_grid[i]

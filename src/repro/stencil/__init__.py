@@ -19,6 +19,7 @@ from repro.stencil.coefficients import (
     paper_constants,
 )
 from repro.stencil.kernel import (
+    apply_stencil_batch,
     apply_stencil_padded,
     apply_stencil_global,
     flops_per_point,
@@ -33,6 +34,7 @@ __all__ = [
     "StencilCoefficients",
     "laplacian_coefficients",
     "paper_constants",
+    "apply_stencil_batch",
     "apply_stencil_padded",
     "apply_stencil_global",
     "flops_per_point",

@@ -75,12 +75,17 @@ def apply_gradient_padded(
     radius: int = 2,
     spacing: float = 1.0,
     out: np.ndarray | None = None,
+    scratch: np.ndarray | None = None,
 ) -> np.ndarray:
     """d/dx_axis on a halo-padded block (ghosts already filled).
 
     The padded array must carry ``radius`` ghost layers on every side, the
     same layout the Laplacian engine uses — one halo exchange serves both
-    operators.
+    operators.  With both ``out`` and ``scratch`` (block-shaped, same
+    dtype) supplied, the kernel allocates nothing: each term is fused as
+    ``np.subtract(hi, lo, out=scratch)`` / ``scratch *= weight`` /
+    ``out += scratch``, bit-identical to the naive ``weight * (hi - lo)``
+    accumulation.
     """
     check_in(axis, (0, 1, 2), "axis")
     weights = gradient_weights(radius, spacing)
@@ -97,10 +102,24 @@ def apply_gradient_padded(
         raise ValueError(f"out shape {out.shape} != block shape {block_shape}")
     else:
         out[...] = 0.0
+    if scratch is None:
+        scratch = np.empty(block_shape, dtype=padded.dtype)
+    elif scratch.shape != block_shape:
+        raise ValueError(
+            f"scratch shape {scratch.shape} != block shape {block_shape}"
+        )
+    elif scratch.dtype != padded.dtype:
+        raise ValueError(
+            f"scratch dtype {scratch.dtype} != input dtype {padded.dtype}"
+        )
+    elif scratch is out or np.shares_memory(scratch, out):
+        raise ValueError("scratch must not alias the output")
     for dist, weight in enumerate(weights, start=1):
         lo: list[slice] = [slice(w, -w)] * 3
         hi: list[slice] = [slice(w, -w)] * 3
         lo[axis] = slice(w - dist, -w - dist)
         hi[axis] = slice(w + dist, padded.shape[axis] - w + dist)
-        out += weight * (padded[tuple(hi)] - padded[tuple(lo)])
+        np.subtract(padded[tuple(hi)], padded[tuple(lo)], out=scratch)
+        np.multiply(scratch, weight, out=scratch)
+        np.add(out, scratch, out=out)
     return out

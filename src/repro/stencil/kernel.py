@@ -1,15 +1,40 @@
 """Vectorized stencil application.
 
-Two entry points:
+Three entry points:
 
 * :func:`apply_stencil_padded` — the production kernel: operates on one
   domain's halo-padded array, writing a separate output block.  All terms
-  are shifted *views* of the padded array (no copies), accumulated with
-  in-place ``+=`` into the output — the NumPy idiom for stencils.
+  are shifted *views* of the padded array (no copies), accumulated through
+  a caller-provided scratch buffer (``np.multiply(..., out=scratch)`` /
+  ``out += scratch``) so the kernel allocates **nothing** when both
+  ``out`` and ``scratch`` are supplied.
+* :func:`apply_stencil_batch` — the same kernel over a stacked 4-D
+  ``(ngrids, nx, ny, nz)`` array.  The slice bookkeeping is computed once
+  per batch and each grid is processed with a shared scratch buffer, so
+  the per-call Python dispatch amortizes over the whole batch while the
+  working set of every array operation stays cache-sized (processing the
+  full 4-D stack per term is measurably *slower* on a memory-bound host —
+  the stacked operands stream through DRAM instead of L2).
 * :func:`apply_stencil_global` — the sequential oracle: applies the same
   stencil to a whole (undistributed) grid with periodic or zero boundary
   handling.  Every distributed code path in the library is tested against
-  it.
+  it, **bit-identically**: the oracle mirrors the fused kernel's exact
+  accumulation order.
+
+Accumulation order (shared by all three kernels, and the contract that
+makes distributed results bit-identical to the oracle)::
+
+    out = center * interior
+    for dist in 1..radius:
+        s    = (((((x_lo + x_hi) + y_lo) + y_hi) + z_lo) + z_hi)
+        s   *= weights[dist - 1]
+        out += s
+
+where ``?_lo``/``?_hi`` are the views shifted by ``-dist``/``+dist``
+along each axis.  This evaluates 15 array operations for the paper's
+radius-2 stencil instead of the 25 (plus ~12 temporaries) of the naive
+``out += weight * view`` form — the fewer passes over memory, the better,
+because the kernel is memory-bandwidth-bound (Malas et al., PAPERS.md).
 
 The input and output are always separate arrays; GPAW guarantees this for
 its FD operation (section IV), which is what makes the point order — and
@@ -22,6 +47,15 @@ import numpy as np
 
 from repro.stencil.coefficients import StencilCoefficients
 
+Slices3 = tuple[slice, slice, slice]
+
+#: Per-(padded shape, radius) cache of the interior slice and the shifted
+#: term slices, grouped by distance in the canonical accumulation order.
+_SLICE_CACHE: dict[
+    tuple[tuple[int, int, int], int],
+    tuple[Slices3, list[list[Slices3]]],
+] = {}
+
 
 def flops_per_point(coeffs: StencilCoefficients) -> int:
     """Floating-point operations per output point.
@@ -33,10 +67,78 @@ def flops_per_point(coeffs: StencilCoefficients) -> int:
     return 2 * n - 1
 
 
+def _term_slices(
+    padded_shape: tuple[int, int, int], w: int
+) -> tuple[Slices3, list[list[Slices3]]]:
+    """Interior slice + per-distance shifted slices (x_lo, x_hi, y_lo, ...)."""
+    key = (padded_shape, w)
+    cached = _SLICE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    interior: Slices3 = tuple(slice(w, s - w) for s in padded_shape)  # type: ignore[assignment]
+    groups: list[list[Slices3]] = []
+    for dist in range(1, w + 1):
+        terms: list[Slices3] = []
+        for axis in range(3):
+            lo: list[slice] = list(interior)
+            hi: list[slice] = list(interior)
+            lo[axis] = slice(w - dist, padded_shape[axis] - w - dist)
+            hi[axis] = slice(w + dist, padded_shape[axis] - w + dist)
+            terms.append(tuple(lo))  # type: ignore[arg-type]
+            terms.append(tuple(hi))  # type: ignore[arg-type]
+        groups.append(terms)
+    _SLICE_CACHE[key] = (interior, groups)
+    return interior, groups
+
+
+def _fused_apply(
+    padded: np.ndarray,
+    coeffs: StencilCoefficients,
+    out: np.ndarray,
+    scratch: np.ndarray,
+    interior: Slices3,
+    groups: list[list[Slices3]],
+) -> None:
+    """The zero-allocation inner kernel (canonical accumulation order)."""
+    np.multiply(padded[interior], coeffs.center, out=out)
+    for dist_groups, weight in zip(groups, coeffs.weights):
+        np.add(padded[dist_groups[0]], padded[dist_groups[1]], out=scratch)
+        for sl in dist_groups[2:]:
+            np.add(scratch, padded[sl], out=scratch)
+        np.multiply(scratch, weight, out=scratch)
+        np.add(out, scratch, out=out)
+
+
+def _check_padded_shape(shape: tuple[int, ...], w: int) -> None:
+    for axis, size in enumerate(shape):
+        if size < 2 * w + 1:
+            raise ValueError(
+                f"padded axis {axis} has {size} points; needs >= {2 * w + 1} "
+                f"for radius {w}"
+            )
+
+
+def _check_buffer(
+    name: str,
+    buf: np.ndarray,
+    block_shape: tuple[int, ...],
+    dtype: np.dtype,
+    *others: np.ndarray,
+) -> None:
+    if buf.shape != block_shape:
+        raise ValueError(f"{name} shape {buf.shape} != block shape {block_shape}")
+    if buf.dtype != dtype:
+        raise ValueError(f"{name} dtype {buf.dtype} != input dtype {dtype}")
+    for other in others:
+        if buf is other or np.shares_memory(buf, other):
+            raise ValueError(f"{name} must not alias the input or output")
+
+
 def apply_stencil_padded(
     padded: np.ndarray,
     coeffs: StencilCoefficients,
     out: np.ndarray | None = None,
+    scratch: np.ndarray | None = None,
 ) -> np.ndarray:
     """Apply the stencil to the interior of a halo-padded array.
 
@@ -47,38 +149,83 @@ def apply_stencil_padded(
         ghosts already filled (halo exchange / zero walls done).
     out:
         Optional pre-allocated output of the *block* (unpadded) shape.
+    scratch:
+        Optional block-shaped accumulation buffer of the same dtype as
+        ``padded``.  When both ``out`` and ``scratch`` are supplied the
+        kernel performs **zero** array allocations; steady-state callers
+        borrow both from a :class:`repro.core.workspace.Workspace`.
 
     Returns
     -------
     The block-shaped result (``out`` if given).
     """
     w = coeffs.radius
-    for axis, size in enumerate(padded.shape):
-        if size < 2 * w + 1:
-            raise ValueError(
-                f"padded axis {axis} has {size} points; needs >= {2 * w + 1} "
-                f"for radius {w}"
-            )
+    _check_padded_shape(padded.shape, w)
     block_shape = tuple(s - 2 * w for s in padded.shape)
     if out is None:
         out = np.empty(block_shape, dtype=padded.dtype)
-    elif out.shape != block_shape:
-        raise ValueError(f"out shape {out.shape} != block shape {block_shape}")
-    elif out is padded or np.shares_memory(out, padded):
-        raise ValueError("out must not alias the input (separate grids)")
+    else:
+        _check_buffer("out", out, block_shape, padded.dtype, padded)
+    if scratch is None:
+        scratch = np.empty(block_shape, dtype=padded.dtype)
+    else:
+        _check_buffer("scratch", scratch, block_shape, padded.dtype, padded, out)
 
-    interior = padded[w:-w, w:-w, w:-w]
-    np.multiply(interior, coeffs.center, out=out)
-    for axis in range(3):
-        for dist in range(1, w + 1):
-            weight = coeffs.weights[dist - 1]
-            lo: list[slice] = [slice(w, -w)] * 3
-            hi: list[slice] = [slice(w, -w)] * 3
-            lo[axis] = slice(w - dist, -w - dist)
-            hi[axis] = slice(w + dist, padded.shape[axis] - w + dist or None)
-            out += weight * padded[tuple(lo)]
-            out += weight * padded[tuple(hi)]
+    interior, groups = _term_slices(padded.shape, w)
+    _fused_apply(padded, coeffs, out, scratch, interior, groups)
     return out
+
+
+def apply_stencil_batch(
+    padded_stack: np.ndarray,
+    coeffs: StencilCoefficients,
+    out_stack: np.ndarray | None = None,
+    scratch: np.ndarray | None = None,
+) -> np.ndarray:
+    """Apply the stencil to a stacked batch of halo-padded grids.
+
+    ``padded_stack`` is a 4-D ``(ngrids, nx, ny, nz)`` array — the regime
+    the paper targets (thousands of wave-function grids per rank, already
+    grouped by :func:`repro.core.batching.batch_schedule`).  The slice
+    bookkeeping is resolved once for the whole batch and every grid is
+    processed through one shared block-shaped ``scratch``, so steady-state
+    batched execution allocates nothing and the per-grid results are
+    bit-identical to :func:`apply_stencil_padded`.
+
+    Parameters
+    ----------
+    out_stack:
+        Optional ``(ngrids, *block_shape)`` output stack.
+    scratch:
+        Optional single block-shaped buffer shared across the batch.
+    """
+    if padded_stack.ndim != 4:
+        raise ValueError(
+            f"padded_stack must be 4-D (ngrids, nx, ny, nz), got "
+            f"shape {padded_stack.shape}"
+        )
+    w = coeffs.radius
+    n_grids = padded_stack.shape[0]
+    padded_shape = padded_stack.shape[1:]
+    _check_padded_shape(padded_shape, w)
+    block_shape = tuple(s - 2 * w for s in padded_shape)
+    stack_shape = (n_grids,) + block_shape
+    if out_stack is None:
+        out_stack = np.empty(stack_shape, dtype=padded_stack.dtype)
+    else:
+        _check_buffer("out_stack", out_stack, stack_shape, padded_stack.dtype,
+                      padded_stack)
+    if scratch is None:
+        scratch = np.empty(block_shape, dtype=padded_stack.dtype)
+    else:
+        _check_buffer("scratch", scratch, block_shape, padded_stack.dtype,
+                      padded_stack, out_stack)
+
+    interior, groups = _term_slices(padded_shape, w)
+    for g in range(n_grids):
+        _fused_apply(padded_stack[g], coeffs, out_stack[g], scratch,
+                     interior, groups)
+    return out_stack
 
 
 def apply_stencil_global(
@@ -89,37 +236,45 @@ def apply_stencil_global(
     """Sequential oracle: apply the stencil to a full grid.
 
     Periodic axes wrap (``np.roll``); non-periodic axes treat outside
-    points as zero.
+    points as zero.  The accumulation order mirrors :func:`_fused_apply`
+    exactly, so distributed results are bit-identical to this oracle.
     """
     w = coeffs.radius
     for axis, size in enumerate(array.shape):
-        if size < w and pbc[axis]:
-            # np.roll would double-wrap; keep semantics strict instead.
+        if size < 2 * w and pbc[axis]:
+            # A distance-w neighbour in opposite directions would reach the
+            # same point through different wraps; the halo machinery cannot
+            # represent that, so keep the semantics strict.
             raise ValueError(
-                f"axis {axis} has {size} points < radius {w}; too small for "
-                "a periodic stencil"
+                f"axis {axis} has {size} points < 2*radius {2 * w}; too "
+                "small for a periodic stencil"
             )
+
+    def term(axis: int, dist: int, sign: int) -> np.ndarray:
+        """The grid shifted so point p sees p + sign*dist along axis."""
+        if pbc[axis]:
+            return np.roll(array, -sign * dist, axis=axis)
+        shifted = np.zeros_like(array)
+        src: list[slice] = [slice(None)] * 3
+        dst: list[slice] = [slice(None)] * 3
+        n = array.shape[axis]
+        if sign < 0:
+            src[axis] = slice(0, n - dist)
+            dst[axis] = slice(dist, None)
+        else:
+            src[axis] = slice(dist, None)
+            dst[axis] = slice(0, n - dist)
+        shifted[tuple(dst)] = array[tuple(src)]
+        return shifted
+
     out = coeffs.center * array
-    for axis in range(3):
-        for dist in range(1, w + 1):
-            weight = coeffs.weights[dist - 1]
-            if pbc[axis]:
-                out += weight * np.roll(array, +dist, axis=axis)
-                out += weight * np.roll(array, -dist, axis=axis)
-            else:
-                shifted = np.zeros_like(array)
-                src: list[slice] = [slice(None)] * 3
-                dst: list[slice] = [slice(None)] * 3
-                # shift down: point p sees p-dist
-                src[axis] = slice(0, array.shape[axis] - dist)
-                dst[axis] = slice(dist, None)
-                shifted[tuple(dst)] = array[tuple(src)]
-                out += weight * shifted
-                shifted = np.zeros_like(array)
-                src = [slice(None)] * 3
-                dst = [slice(None)] * 3
-                src[axis] = slice(dist, None)
-                dst[axis] = slice(0, array.shape[axis] - dist)
-                shifted[tuple(dst)] = array[tuple(src)]
-                out += weight * shifted
+    scratch = np.empty_like(array)
+    for dist in range(1, w + 1):
+        weight = coeffs.weights[dist - 1]
+        np.add(term(0, dist, -1), term(0, dist, +1), out=scratch)
+        for axis in (1, 2):
+            np.add(scratch, term(axis, dist, -1), out=scratch)
+            np.add(scratch, term(axis, dist, +1), out=scratch)
+        np.multiply(scratch, weight, out=scratch)
+        np.add(out, scratch, out=out)
     return out

@@ -116,6 +116,12 @@ class InprocTransport:
 class RankEndpoint:
     """One rank's view of the transport (thread-safe)."""
 
+    #: ``isend(copy=False)`` hands the payload to the receiver by
+    #: reference; the *receiver* owns (and may recycle) the buffer after
+    #: consuming it.  Senders over transports without this property must
+    #: keep or reclaim their buffers themselves.
+    zero_copy_sends = True
+
     def __init__(self, transport: InprocTransport, rank: int):
         self.transport = transport
         self.rank = rank
@@ -125,12 +131,34 @@ class RankEndpoint:
         return self.transport.size
 
     # -- sending ----------------------------------------------------------
-    def isend(self, dst: int, payload: np.ndarray, tag: int = 0) -> SendHandle:
-        """Eager non-blocking send of an array (copied immediately)."""
+    def isend(
+        self, dst: int, payload: np.ndarray, tag: int = 0, copy: bool = True
+    ) -> SendHandle:
+        """Eager non-blocking send of an array.
+
+        By default the payload is snapshotted with a *single* contiguous
+        copy (MPI buffered-send semantics; the sender may reuse the array
+        immediately).  With ``copy=False`` the payload is handed to the
+        destination by reference — the zero-copy fast path for buffers the
+        sender exclusively owns (e.g. borrowed from a
+        :class:`repro.core.workspace.Workspace`) and will not touch until
+        the receiver has consumed them.  ``copy=False`` requires a
+        C-contiguous payload, so the receiver sees the same layout either
+        way.
+        """
         tr = self.transport
         if not 0 <= dst < tr.size:
             raise ValueError(f"dst {dst} outside 0..{tr.size - 1}")
-        data = np.ascontiguousarray(payload).copy()
+        if copy:
+            # One pass even for non-contiguous payloads (ascontiguousarray
+            # followed by .copy() would copy those twice).
+            data = np.array(payload, order="C", copy=True)
+        else:
+            if not payload.flags.c_contiguous:
+                raise ValueError(
+                    "copy=False requires a C-contiguous payload"
+                )
+            data = payload
         cond = tr._conds[dst]
         with cond:
             tr._boxes[dst].append(_Mail(src=self.rank, tag=tag, payload=data))

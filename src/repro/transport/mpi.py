@@ -103,6 +103,11 @@ class MpiEndpoint:
     fast path is a natural extension; the interface would not change.)
     """
 
+    #: mpi4py snapshots (pickles) the payload inside ``isend``, so the
+    #: receiver never shares the sender's buffer — senders reclaim their
+    #: message buffers immediately after posting.
+    zero_copy_sends = False
+
     def __init__(self, comm: Any = None):
         MPI = _require_mpi()
         self._MPI = MPI
@@ -114,8 +119,13 @@ class MpiEndpoint:
         return self.comm.Get_size()
 
     # -- point to point -------------------------------------------------------
-    def isend(self, dst: int, payload: np.ndarray, tag: int = 0) -> MpiSendHandle:
-        data = np.ascontiguousarray(payload)
+    def isend(
+        self, dst: int, payload: np.ndarray, tag: int = 0, copy: bool = True
+    ) -> MpiSendHandle:
+        # ``copy`` mirrors the inproc endpoint's interface.  mpi4py's isend
+        # pickles the payload (its own snapshot) either way, so the flag
+        # only changes whether a contiguous staging copy may be skipped.
+        data = payload if not copy else np.ascontiguousarray(payload)
         req = self.comm.isend(data, dest=dst, tag=tag)
         return MpiSendHandle(req, data.nbytes)
 

@@ -6,6 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.stencil import (
     StencilCoefficients,
+    apply_stencil_batch,
     apply_stencil_global,
     apply_stencil_padded,
     flops_per_point,
@@ -124,6 +125,43 @@ class TestGlobalKernel:
         with pytest.raises(ValueError):
             apply_stencil_global(np.zeros((1, 8, 8)), st2)
 
+    @pytest.mark.parametrize("radius", [1, 2, 3])
+    def test_periodic_axis_below_twice_radius_rejected(self, radius):
+        """A periodic axis with size < 2*radius would let distance-radius
+        neighbours alias the same point through both wraps; the halo
+        machinery cannot represent that, so the oracle must reject it."""
+        st_r = laplacian_coefficients(radius)
+        shape = [8, 8, 8]
+        shape[1] = 2 * radius - 1
+        with pytest.raises(ValueError):
+            apply_stencil_global(np.zeros(tuple(shape)), st_r)
+
+    @pytest.mark.parametrize("radius", [1, 2, 3])
+    def test_periodic_axis_exactly_twice_radius_accepted(self, radius):
+        """size == 2*radius is the boundary case the guard must still
+        accept; there the two distance-radius wraps land on the same
+        point and the result must match the naive modular reference."""
+        rng = np.random.default_rng(21)
+        shape = (2 * radius, 7, 2 * radius)
+        a = rng.standard_normal(shape)
+        st_r = laplacian_coefficients(radius, spacing=0.6)
+        out = apply_stencil_global(a, st_r)
+        np.testing.assert_allclose(
+            out, apply_stencil_naive(a, st_r), rtol=1e-11
+        )
+
+    def test_small_nonperiodic_axis_still_allowed(self):
+        """The tightened guard applies to periodic axes only: zero
+        boundaries have no wraps to alias."""
+        rng = np.random.default_rng(22)
+        a = rng.standard_normal((2, 9, 9))
+        st2 = laplacian_coefficients(2)
+        out = apply_stencil_global(a, st2, pbc=(False, True, True))
+        np.testing.assert_allclose(
+            out, apply_stencil_naive(a, st2, pbc=(False, True, True)),
+            rtol=1e-11,
+        )
+
     @settings(max_examples=20, deadline=None)
     @given(st.integers(min_value=0, max_value=2**32 - 1))
     def test_property_linearity(self, seed):
@@ -224,3 +262,143 @@ class TestPaddedKernel:
         out = apply_stencil_padded(padded, st2)
         assert out.dtype == np.complex128
         np.testing.assert_allclose(out, apply_stencil_global(a, st2), rtol=1e-12)
+
+
+class TestFusedAndBatchedKernels:
+    """The scratch-based and batched kernels are the hot path; they must be
+    *bit-identical* to the plain per-grid kernel and the sequential oracle
+    across radii, dtypes, layouts and batch sizes."""
+
+    @pytest.mark.parametrize("radius", [1, 2, 3, 4])
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_scratch_kernel_bit_identical(self, radius, dtype):
+        rng = np.random.default_rng(radius)
+        n = 2 * radius + 3
+        padded = rng.standard_normal((n + 2, n, n + 1)).astype(dtype)
+        st_r = laplacian_coefficients(radius, spacing=0.8)
+        plain = apply_stencil_padded(padded, st_r)
+        block_shape = tuple(s - 2 * radius for s in padded.shape)
+        out = np.empty(block_shape, dtype=dtype)
+        scratch = np.empty(block_shape, dtype=dtype)
+        fused = apply_stencil_padded(padded, st_r, out=out, scratch=scratch)
+        assert fused is out
+        np.testing.assert_array_equal(fused, plain)
+
+    @pytest.mark.parametrize("radius", [1, 2, 3, 4])
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    @pytest.mark.parametrize("batch", [1, 7, 64])
+    def test_batch_kernel_bit_identical_to_per_grid(self, radius, dtype, batch):
+        rng = np.random.default_rng(100 * radius + batch)
+        n = 2 * radius + 2
+        pshape = (n + 2 * radius,) * 3
+        stack = rng.standard_normal((batch,) + pshape).astype(dtype)
+        st_r = laplacian_coefficients(radius, spacing=1.1)
+        got = apply_stencil_batch(stack, st_r)
+        assert got.dtype == dtype
+        for g in range(batch):
+            np.testing.assert_array_equal(
+                got[g], apply_stencil_padded(stack[g], st_r)
+            )
+
+    def test_batch_kernel_with_preallocated_buffers(self):
+        rng = np.random.default_rng(7)
+        st2 = laplacian_coefficients(2)
+        stack = rng.standard_normal((5, 9, 9, 9))
+        out = np.empty((5, 5, 5, 5))
+        scratch = np.empty((5, 5, 5))
+        got = apply_stencil_batch(stack, st2, out_stack=out, scratch=scratch)
+        assert got is out
+        for g in range(5):
+            np.testing.assert_array_equal(
+                got[g], apply_stencil_padded(stack[g], st2)
+            )
+
+    def test_noncontiguous_input_views(self):
+        """Strided inputs (every other grid of a big stack, transposed
+        blocks) must produce the same bits as their contiguous copies."""
+        rng = np.random.default_rng(8)
+        st2 = laplacian_coefficients(2)
+        big = rng.standard_normal((10, 9, 9, 9))
+        strided = big[::2]  # non-contiguous 4-D stack
+        assert not strided.flags.c_contiguous
+        got = apply_stencil_batch(strided, st2)
+        want = apply_stencil_batch(np.ascontiguousarray(strided), st2)
+        np.testing.assert_array_equal(got, want)
+
+        transposed = np.asarray(rng.standard_normal((9, 10, 11))).T
+        assert not transposed.flags.c_contiguous
+        got_t = apply_stencil_padded(transposed, st2)
+        want_t = apply_stencil_padded(np.ascontiguousarray(transposed), st2)
+        np.testing.assert_array_equal(got_t, want_t)
+
+    @pytest.mark.parametrize("radius", [1, 2, 3])
+    def test_matches_oracle_bitwise_on_wrapped_grid(self, radius):
+        """The fused padded kernel and the roll-based oracle share one
+        accumulation order — their results agree to the last bit."""
+        rng = np.random.default_rng(9)
+        a = rng.standard_normal((8, 7, 2 * radius + 2))
+        padded = np.pad(a, radius, mode="wrap")
+        st_r = laplacian_coefficients(radius, spacing=0.4)
+        np.testing.assert_array_equal(
+            apply_stencil_padded(padded, st_r),
+            apply_stencil_global(a, st_r),
+        )
+
+    def test_matches_oracle_bitwise_zero_boundary(self):
+        rng = np.random.default_rng(10)
+        a = rng.standard_normal((6, 6, 6))
+        st2 = laplacian_coefficients(2)
+        np.testing.assert_array_equal(
+            apply_stencil_padded(np.pad(a, 2, mode="constant"), st2),
+            apply_stencil_global(a, st2, pbc=(False, False, False)),
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_property_batch_equals_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        batch = int(rng.integers(1, 9))
+        shape = tuple(int(s) for s in rng.integers(4, 9, size=3))
+        st2 = laplacian_coefficients(2, spacing=float(rng.uniform(0.3, 1.5)))
+        grids = [rng.standard_normal(shape) for _ in range(batch)]
+        stack = np.stack([np.pad(g, 2, mode="wrap") for g in grids])
+        got = apply_stencil_batch(stack, st2)
+        for g in range(batch):
+            np.testing.assert_array_equal(
+                got[g], apply_stencil_global(grids[g], st2)
+            )
+
+    def test_batch_requires_4d(self):
+        st2 = laplacian_coefficients(2)
+        with pytest.raises(ValueError):
+            apply_stencil_batch(np.zeros((9, 9, 9)), st2)
+
+    def test_scratch_shape_and_dtype_validated(self):
+        st2 = laplacian_coefficients(2)
+        padded = np.zeros((9, 9, 9))
+        with pytest.raises(ValueError):
+            apply_stencil_padded(padded, st2, scratch=np.zeros((4, 4, 4)))
+        with pytest.raises(ValueError):
+            apply_stencil_padded(
+                padded, st2, scratch=np.zeros((5, 5, 5), dtype=np.float32)
+            )
+
+    def test_scratch_aliasing_rejected(self):
+        st2 = laplacian_coefficients(2)
+        padded = np.zeros((9, 9, 9))
+        out = np.empty((5, 5, 5))
+        with pytest.raises(ValueError):
+            apply_stencil_padded(padded, st2, out=out, scratch=out)
+        with pytest.raises(ValueError):
+            apply_stencil_padded(
+                padded, st2, out=out, scratch=padded[2:-2, 2:-2, 2:-2]
+            )
+
+    def test_complex_batch(self):
+        rng = np.random.default_rng(12)
+        a = rng.standard_normal((2, 9, 9, 9)) + 1j * rng.standard_normal((2, 9, 9, 9))
+        st2 = laplacian_coefficients(2)
+        got = apply_stencil_batch(a, st2)
+        assert got.dtype == np.complex128
+        for g in range(2):
+            np.testing.assert_array_equal(got[g], apply_stencil_padded(a[g], st2))

@@ -203,3 +203,53 @@ class TestConcurrency:
         # After each barrier all n increments of the round are visible.
         for seen in results:
             assert seen == [n, 2 * n, 3 * n, 4 * n, 5 * n]
+
+
+class TestCopyModes:
+    def test_copy_true_snapshots_once(self):
+        """copy=True hands the receiver an independent C-contiguous
+        snapshot, even for strided views."""
+
+        def fn(ep):
+            if ep.rank == 0:
+                a = np.arange(16.0).reshape(4, 4)
+                ep.isend(1, a[:, 1], tag=0)  # strided view, default copy
+                a[:] = -1.0
+                ep.barrier()
+                return None
+            ep.barrier()
+            got = ep.recv(src=0, tag=0)
+            assert got.flags.c_contiguous
+            return got
+
+        results = run_ranks(2, fn)
+        np.testing.assert_array_equal(results[1], [1.0, 5.0, 9.0, 13.0])
+
+    def test_copy_false_shares_the_buffer(self):
+        """copy=False hands the receiver the sender's array object —
+        this is the zero-copy engine fast path."""
+        sent = []
+
+        def fn(ep):
+            if ep.rank == 0:
+                a = np.arange(6.0)
+                sent.append(a)
+                ep.isend(1, a, tag=0, copy=False)
+                return None
+            return ep.recv(src=0, tag=0)
+
+        results = run_ranks(2, fn)
+        assert results[1] is sent[0]
+
+    def test_copy_false_rejects_noncontiguous(self):
+        def fn(ep):
+            if ep.rank == 0:
+                a = np.arange(16.0).reshape(4, 4)
+                with pytest.raises(ValueError, match="contiguous"):
+                    ep.isend(1, a[:, 1], tag=0, copy=False)
+
+        run_ranks(2, fn)
+
+    def test_inproc_advertises_zero_copy(self):
+        tr = InprocTransport(1)
+        assert tr.endpoint(0).zero_copy_sends is True
