@@ -11,6 +11,7 @@ Usage::
     python -m repro ablation
     python -m repro wholeapp
     python -m repro validate          # quick model-vs-DES cross-check
+    python -m repro schedule flat-optimized --cores 8 --grids 4 --batch-size 2
 
 Every command prints the same rows the corresponding benchmark asserts
 on; this is the interactive face of ``pytest benchmarks/``.
@@ -201,6 +202,26 @@ def _cmd_calibrate(args: argparse.Namespace) -> str:
     return table + summary
 
 
+def _cmd_schedule(args: argparse.Namespace) -> str:
+    """Print the compiled schedule IR for a named approach."""
+    from repro.core.approaches import approach_by_name
+    from repro.core.schedule import compile_schedule, timing_plane_workers
+    from repro.grid.decompose import Decomposition
+
+    approach = approach_by_name(args.approach)
+    grid = GridDescriptor(tuple(args.shape))
+    decomp = Decomposition(grid, approach.domains_for(args.cores))
+    plan = compile_schedule(
+        approach,
+        decomp,
+        args.grids,
+        args.batch_size,
+        args.ramp_up,
+        n_workers=timing_plane_workers(approach, args.cores),
+    )
+    return plan.describe(args.domain)
+
+
 def _cmd_report(args: argparse.Namespace) -> str:
     """Every experiment in one run — a regenerated EXPERIMENTS digest."""
     sections = [
@@ -246,6 +267,18 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument("--cores", type=int, default=32)
     sub.add_parser("report", help="all experiments in one run")
     sub.add_parser("calibrate", help="re-fit the compute knobs to the anchors")
+    ps = sub.add_parser(
+        "schedule", help="print the compiled schedule IR for an approach"
+    )
+    ps.add_argument("approach", help="approach name (e.g. flat-optimized)")
+    ps.add_argument("--cores", type=int, default=8)
+    ps.add_argument("--grids", type=int, default=4)
+    ps.add_argument("--batch-size", type=int, default=1)
+    ps.add_argument("--ramp-up", action="store_true")
+    ps.add_argument("--shape", type=int, nargs=3, default=[24, 24, 24],
+                    metavar=("NX", "NY", "NZ"))
+    ps.add_argument("--domain", type=int, default=0,
+                    help="which rank's step list to print")
     return parser
 
 
@@ -261,6 +294,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "report": _cmd_report,
     "calibrate": _cmd_calibrate,
+    "schedule": _cmd_schedule,
 }
 
 

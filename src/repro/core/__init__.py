@@ -6,17 +6,21 @@ Four programming approaches (section VI), one engine, two planes:
   original*, *Flat optimized*, *Hybrid multiple* and *Hybrid master-only*.
 * :mod:`repro.core.batching` — grid batches and the ramp-up schedule that
   softens the double-buffering prologue (section V-A).
-* :mod:`repro.core.engine` — the functional engine: executes any approach
-  on real NumPy grids over a transport, bit-identical to the sequential
-  stencil.
+* :mod:`repro.core.schedule` — the schedule compiler: turns an approach,
+  a decomposition and a batch config into an explicit per-worker step IR
+  that all three execution planes consume.
+* :mod:`repro.core.engine` — the functional engine: interprets compiled
+  plans on real NumPy grids over a transport, bit-identical to the
+  sequential stencil.
 * :mod:`repro.core.workspace` — the buffer arena the engine borrows
   scratch, output and halo message buffers from (zero-allocation steady
   state).
-* :mod:`repro.core.simrun` — the same schedules driven through simulated
-  MPI on the DES machine: exact message-level timing at small scale.
+* :mod:`repro.core.simrun` — the same compiled plans replayed through
+  simulated MPI on the DES machine: exact message-level timing at small
+  scale.
 * :mod:`repro.core.perfmodel` — the closed-form performance model used to
-  regenerate the paper's figures at up to 16384 cores; cross-validated
-  against :mod:`repro.core.simrun` by tests.
+  regenerate the paper's figures at up to 16384 cores; walks the compiled
+  plan and is cross-validated against :mod:`repro.core.simrun` by tests.
 """
 
 from repro.core.approaches import (
@@ -29,6 +33,14 @@ from repro.core.approaches import (
     approach_by_name,
 )
 from repro.core.batching import batch_schedule
+from repro.core.schedule import (
+    SchedulePlan,
+    clear_plan_cache,
+    compile_schedule,
+    plan_cache_stats,
+    timing_plane_workers,
+    tracer_hook,
+)
 from repro.core.engine import DistributedStencil, SequentialStencil
 from repro.core.workspace import Workspace
 from repro.core.perfmodel import FDJob, PerformanceModel, FDTiming
@@ -50,6 +62,12 @@ __all__ = [
     "ALL_APPROACHES",
     "approach_by_name",
     "batch_schedule",
+    "SchedulePlan",
+    "clear_plan_cache",
+    "compile_schedule",
+    "plan_cache_stats",
+    "timing_plane_workers",
+    "tracer_hook",
     "DistributedStencil",
     "SequentialStencil",
     "Workspace",

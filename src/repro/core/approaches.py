@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.machine.partition import NodeMode
 from repro.smpi.datatypes import ThreadMode
+from repro.util.validation import check_positive_int
 
 
 @dataclass(frozen=True)
@@ -81,6 +82,18 @@ class Approach:
     def n_nodes_for(self, n_cores: int) -> int:
         """Nodes used by ``n_cores`` cores (4 cores per node)."""
         return max(1, n_cores // 4) if n_cores >= 4 else 1
+
+    def validate_batch_size(self, batch_size: int) -> int:
+        """Check a batch size against this approach's capabilities.
+
+        The one validation every consumer (schedule compiler, functional
+        engine, DES runner, analytic model) funnels through, so the error
+        text stays uniform.  Returns the batch size as an int.
+        """
+        batch_size = check_positive_int(batch_size, "batch_size")
+        if not self.supports_batching and batch_size != 1:
+            raise ValueError(f"{self.name} does not support batching")
+        return batch_size
 
 
 FLAT_ORIGINAL = Approach(

@@ -7,31 +7,46 @@ endpoint and returns the output blocks.  All four approaches must produce
 results bit-identical to :class:`SequentialStencil` — the central
 correctness property of the library, enforced by the integration tests.
 
-Schedules implemented (section V / VI):
-
-* serialized dimension-by-dimension blocking exchange (Flat original),
-* simultaneous non-blocking exchange in all six directions,
-* double buffering across grids/batches (exchange of batch *k+1* is in
-  flight while batch *k* computes),
-* batching with optional ramp-up,
-* per-worker grid ownership (Hybrid multiple) and shared-grid computation
-  with per-grid synchronization points (Hybrid master-only).
+The schedules themselves — serialized blocking exchange, simultaneous
+non-blocking exchange, double buffering, batching with ramp-up, per-worker
+grid ownership and per-grid synchronization points (sections V / VI) — are
+*not* implemented here.  They are compiled once by
+:func:`repro.core.schedule.compile_schedule` into an explicit step IR, and
+``apply`` interprets the resulting per-rank step lists over the transport.
+The DES runner and the analytic model consume the *same* compiled plan, so
+the three planes cannot drift apart.
 
 In this functional plane, "threads" are executed as deterministic worker
 loops inside the rank — the numerics are identical, and the *timing*
 differences between threads and ranks are the business of the performance
 plane (:mod:`repro.core.perfmodel`, :mod:`repro.core.simrun`).
+
+``apply`` accepts an ``on_step`` hook called with ``(step, worker, start,
+end)`` wall-clock timestamps around every interpreted step;
+:func:`repro.core.schedule.tracer_hook` adapts it to a
+:class:`repro.des.trace.Tracer`, so a real run can emit the same Gantt
+chart as the simulator.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Mapping, Optional, Sequence
+import time
+from typing import Callable, Mapping, Optional
 
 import numpy as np
 
 from repro.core.approaches import Approach, FLAT_OPTIMIZED
-from repro.core.batching import batch_schedule, split_among_workers
+from repro.core.schedule import (
+    ApplyLocalWraps as _ApplyLocalWraps,
+    ComputeBoundary as _ComputeBoundary,
+    ComputeInterior as _ComputeInterior,
+    PostRecv as _PostRecv,
+    PostSend as _PostSend,
+    SchedulePlan,
+    WaitAll as _WaitAll,
+    WorkerPlan,
+    compile_schedule,
+)
 from repro.core.workspace import Workspace
 from repro.grid.array import LocalGrid
 from repro.grid.decompose import Decomposition
@@ -42,6 +57,7 @@ from repro.grid.halo import (
     apply_local_wraps,
     halo_messages,
     pack_slabs,
+    unpack_slabs,
     zero_boundary_ghosts,
 )
 from repro.stencil.coefficients import StencilCoefficients, laplacian_coefficients
@@ -63,19 +79,6 @@ class SequentialStencil:
             self.grid.check_array(a, f"grid {gid}")
             out[gid] = apply_stencil_global(a, self.coeffs, pbc=self.grid.pbc)
         return out
-
-
-def _tag(seq: int, dirtag: int) -> int:
-    """Compose a unique tag from a schedule sequence number + direction."""
-    return seq * 8 + dirtag
-
-
-@dataclass
-class _Exchange:
-    """One in-flight batched exchange."""
-
-    grid_ids: list[int]
-    recvs: list[tuple[object, HaloMessage]]  # (handle, message geometry)
 
 
 class DistributedStencil:
@@ -176,6 +179,29 @@ class DistributedStencil:
             if m.is_local_wrap
         ]
 
+    # -- plan access -------------------------------------------------------
+    def plan_for(
+        self,
+        approach: Approach,
+        n_grids: int,
+        batch_size: int = 1,
+        ramp_up: bool = False,
+    ) -> SchedulePlan:
+        """The compiled plan ``apply`` will execute for this configuration.
+
+        Compilation is cached on (approach, decomposition, n_grids,
+        batch_size, ...) — an SCF loop pays it once and re-executes the
+        same plan every iteration.
+        """
+        return compile_schedule(
+            approach,
+            self.decomp,
+            n_grids,
+            batch_size,
+            ramp_up,
+            halo_width=self.halo.width,
+        )
+
     # -- the public entry point ------------------------------------------------
     def apply(
         self,
@@ -185,6 +211,7 @@ class DistributedStencil:
         batch_size: int = 1,
         ramp_up: bool = False,
         out: "Optional[dict[int, LocalGrid]]" = None,
+        on_step: "Optional[Callable[[object, int, float, float], None]]" = None,
     ) -> dict[int, LocalGrid]:
         """Apply the stencil to every grid, using ``approach``'s schedule.
 
@@ -196,16 +223,17 @@ class DistributedStencil:
         overwritten — with it, steady-state calls allocate no arrays at
         all (SCF iterations apply the same operator to the same grid set
         thousands of times; this is where the allocator traffic goes).
+
+        ``on_step(step, worker, start, end)`` is called around every
+        interpreted schedule step with wall-clock timestamps — see
+        :func:`repro.core.schedule.tracer_hook`.
         """
         if ep.size != self.decomp.n_domains:
             raise ValueError(
                 f"transport has {ep.size} ranks, decomposition has "
                 f"{self.decomp.n_domains} domains"
             )
-        if batch_size < 1:
-            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-        if not approach.supports_batching and batch_size != 1:
-            raise ValueError(f"{approach.name} does not support batching")
+        approach.validate_batch_size(batch_size)
         for gid, lg in grids.items():
             if lg.domain != ep.rank:
                 raise ValueError(
@@ -233,140 +261,78 @@ class DistributedStencil:
         if not grid_ids:
             return out
 
-        if approach.serialized_exchange:
-            self._apply_serialized(ep, grids, out, grid_ids)
-        else:
-            self._apply_pipelined(
-                ep, grids, out, grid_ids, approach, batch_size, ramp_up
-            )
+        plan = self.plan_for(approach, len(grid_ids), batch_size, ramp_up)
+        # Workers run sequentially inside the rank: sends are eager, so a
+        # later worker can never block an earlier worker's receives.
+        for wp in plan.rank_plan(ep.rank).workers:
+            self._execute_worker(ep, wp, grids, grid_ids, out, on_step)
         return out
 
-    # -- Flat original: dimension-serialized blocking exchange -----------------
-    def _apply_serialized(
+    # -- the IR interpreter ----------------------------------------------------
+    def _execute_worker(
         self,
         ep: RankEndpoint,
+        wp: WorkerPlan,
         grids: Mapping[int, LocalGrid],
+        grid_ids: list[int],
         out: dict[int, LocalGrid],
-        grid_ids: Sequence[int],
+        on_step: "Optional[Callable[[object, int, float, float], None]]",
     ) -> None:
-        outgoing = self.outgoing(ep.rank)
-        incoming = self.incoming(ep.rank)
-        ws = self.workspace
-        zero_copy = getattr(ep, "zero_copy_sends", False)
-        for gid in grid_ids:
-            lg = grids[gid]
-            for dim in range(3):
-                # 1) post this dimension's sends, 2) block on its receives.
-                for m in outgoing:
-                    if m.dim == dim:
-                        slab = lg.data[m.send_slices]
-                        buf = ws.borrow(slab.shape, slab.dtype)
-                        np.copyto(buf, slab)
-                        ep.isend(
-                            m.dst_domain, buf, tag=_tag(gid, m.tag), copy=False
-                        )
-                        if not zero_copy:
-                            ws.release(buf)
-                for m in incoming:
-                    if m.dim == dim:
-                        payload = ep.recv(src=m.src_domain, tag=_tag(gid, m.tag))
-                        lg.data[m.recv_slices] = payload.reshape(
-                            lg.data[m.recv_slices].shape
-                        )
-                        ws.release(payload)
-            self._compute_one(lg, out[gid], ep.rank)
+        """Interpret one worker's compiled step list over the transport.
 
-    # -- optimized approaches: concurrent exchange + double buffering ---------
-    def _apply_pipelined(
-        self,
-        ep: RankEndpoint,
-        grids: Mapping[int, LocalGrid],
-        out: dict[int, LocalGrid],
-        grid_ids: Sequence[int],
-        approach: Approach,
-        batch_size: int,
-        ramp_up: bool,
-    ) -> None:
-        # Hybrid multiple deals whole grids to workers; each worker runs its
-        # own batched pipeline.  Other approaches are a single worker.
-        if approach.decompose_per_rank or approach.sync_per_grid:
-            worker_grid_ids = [list(grid_ids)]
-        else:
-            worker_grid_ids = split_among_workers(list(grid_ids), approach.compute_threads)
-
-        # Build the global batch list; seq numbers are unique across workers
-        # because every rank derives them from the same deterministic layout.
-        all_batches: list[tuple[int, list[int]]] = []  # (seq, grid ids)
-        seq = 0
-        for wids in worker_grid_ids:
-            if not wids:
-                continue
-            for batch_idx in batch_schedule(len(wids), batch_size, ramp_up):
-                all_batches.append((seq, [wids[i] for i in batch_idx]))
-                seq += 1
-
-        pending: Optional[_Exchange] = None
-        for seq_no, batch in all_batches:
-            started = self._start_exchange(ep, grids, batch, seq_no)
-            if approach.double_buffering:
-                if pending is not None:
-                    self._finish_and_compute(ep, grids, out, pending)
-                pending = started
-            else:
-                self._finish_and_compute(ep, grids, out, started)
-        if pending is not None:
-            self._finish_and_compute(ep, grids, out, pending)
-
-    def _start_exchange(
-        self,
-        ep: RankEndpoint,
-        grids: Mapping[int, LocalGrid],
-        batch: list[int],
-        seq: int,
-    ) -> _Exchange:
-        """Initiate the exchange of one batch in all six directions.
-
-        Each direction's slabs are packed into one message buffer borrowed
-        from the arena and handed to the transport without a copy; over a
-        zero-copy transport the receiving rank recycles the buffer after
-        unpacking it (the arena is shared), otherwise the sender reclaims
-        it as soon as the transport has snapshotted the payload.
+        Plan steps name grids by logical index; ``grid_ids`` maps them to
+        the caller's ids.  Send buffers are borrowed from the arena and
+        handed to the transport without a copy; over a zero-copy transport
+        the receiving rank recycles them after unpacking (the arena is
+        shared), otherwise the sender reclaims them as soon as the
+        transport has snapshotted the payload.
         """
         ws = self.workspace
         zero_copy = getattr(ep, "zero_copy_sends", False)
-        for m in self.outgoing(ep.rank):
-            slab = grids[batch[0]].data[m.send_slices]
-            buf = ws.borrow((len(batch),) + slab.shape, slab.dtype)
-            pack_slabs([grids[gid].data for gid in batch], m.send_slices, buf)
-            ep.isend(m.dst_domain, buf, tag=_tag(seq, m.tag), copy=False)
-            if not zero_copy:
-                ws.release(buf)
-        recvs = [
-            (ep.irecv(src=m.src_domain, tag=_tag(seq, m.tag)), m)
-            for m in self.incoming(ep.rank)
-        ]
-        return _Exchange(grid_ids=batch, recvs=recvs)
-
-    def _finish_and_compute(
-        self,
-        ep: RankEndpoint,
-        grids: Mapping[int, LocalGrid],
-        out: dict[int, LocalGrid],
-        exch: _Exchange,
-    ) -> None:
-        """Wait for a batch's ghosts, then run the stencil on its grids."""
-        for handle, m in exch.recvs:
-            payload = handle.wait()
-            slab_shape = grids[exch.grid_ids[0]].data[m.recv_slices].shape
-            per_grid = payload.reshape((len(exch.grid_ids),) + slab_shape)
-            for i, gid in enumerate(exch.grid_ids):
-                grids[gid].data[m.recv_slices] = per_grid[i]
-            self.workspace.release(payload)
-        for gid in exch.grid_ids:
-            self._compute_one(grids[gid], out[gid], ep.rank)
-
-    def _compute_one(self, lg: LocalGrid, out_lg: LocalGrid, rank: int) -> None:
-        """Ghost finalization + stencil for one grid."""
-        apply_local_wraps(lg.data, self.local_wraps(rank))
-        zero_boundary_ghosts(lg.data, self.decomp, rank, self.halo.width)
-        self._compute_fn(lg.data, out_lg.interior)
+        send_geom = {(m.dim, m.step): m for m in self.outgoing(ep.rank)}
+        recv_geom = {(m.dim, m.step): m for m in self.incoming(ep.rank)}
+        wraps = self.local_wraps(ep.rank)
+        # in-flight receives per seq: (handle, geometry, logical grid ids)
+        pending: dict[int, list[tuple[object, HaloMessage, tuple[int, ...]]]] = {}
+        clock = time.perf_counter
+        for st in wp.steps:
+            t0 = clock() if on_step is not None else 0.0
+            if isinstance(st, _PostSend):
+                m = send_geom[(st.dim, st.step)]
+                sources = [grids[grid_ids[i]].data for i in st.grid_ids]
+                slab_shape = sources[0][m.send_slices].shape
+                buf = ws.borrow((len(sources),) + slab_shape, sources[0].dtype)
+                pack_slabs(sources, m.send_slices, buf)
+                ep.isend(m.dst_domain, buf, tag=st.tag, copy=False)
+                if not zero_copy:
+                    ws.release(buf)
+            elif isinstance(st, _PostRecv):
+                m = recv_geom[(st.dim, st.step)]
+                handle = ep.irecv(src=m.src_domain, tag=st.tag)
+                pending.setdefault(st.seq, []).append((handle, m, st.grid_ids))
+            elif isinstance(st, _WaitAll):
+                for handle, m, idxs in pending.pop(st.seq, ()):
+                    payload = handle.wait()
+                    unpack_slabs(
+                        payload,
+                        [grids[grid_ids[i]].data for i in idxs],
+                        m.recv_slices,
+                    )
+                    ws.release(payload)
+            elif isinstance(st, _ApplyLocalWraps):
+                apply_local_wraps(grids[grid_ids[st.grid_id]].data, wraps)
+            elif isinstance(st, _ComputeBoundary):
+                zero_boundary_ghosts(
+                    grids[grid_ids[st.grid_id]].data,
+                    self.decomp,
+                    ep.rank,
+                    self.halo.width,
+                )
+            elif isinstance(st, _ComputeInterior):
+                gid = grid_ids[st.grid_id]
+                self._compute_fn(grids[gid].data, out[gid].interior)
+            # GridBarrier / JoinBarrier: timing-plane markers; the
+            # functional rank runs its workers sequentially, so there is
+            # nothing to synchronize here.
+            if on_step is not None:
+                on_step(st, wp.index, t0, clock())

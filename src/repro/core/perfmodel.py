@@ -41,7 +41,11 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.core.approaches import Approach
-from repro.core.batching import batch_schedule
+from repro.core.schedule import (
+    PostSend,
+    compile_schedule,
+    timing_plane_workers,
+)
 from repro.grid.decompose import Decomposition
 from repro.grid.grid import GridDescriptor
 from repro.machine.spec import BGP_SPEC, MachineSpec
@@ -163,44 +167,33 @@ class PerformanceModel:
 
     def _round_comm_time(
         self,
+        sends: Sequence[PostSend],
         decomp: Decomposition,
         n_cores: int,
-        batch: int,
         streams_per_link: int,
-        lock_calls: int,
     ) -> float:
         """Time for one pipeline round's exchange on the critical link.
 
-        ``streams_per_link`` messages of ``batch`` grids' slabs share each
-        direction's link; the slowest direction bounds the round (all six
-        links run simultaneously — the section V optimization).
+        ``sends`` is the round's compiled send list (batch sizes already
+        folded into each step's byte count); ``streams_per_link`` such
+        messages share each direction's link, and the slowest direction
+        bounds the round (all six links run simultaneously — the
+        section V optimization).
         """
         torus = self.spec.torus
-        t_lock = self.spec.threads.mpi_multiple_overhead * lock_calls
         worst = 0.0
-        for dim in range(3):
-            s = decomp.send_bytes(0, dim, +1, self._halo_width(decomp)) * batch
-            if s == 0:
-                continue
-            factor = self._mesh_factor(n_cores, decomp, dim)
-            t = streams_per_link * (torus.message_overhead + factor * s / torus.effective_bandwidth)
+        for s in sends:
+            factor = self._mesh_factor(n_cores, decomp, s.dim)
+            t = streams_per_link * (
+                torus.message_overhead + factor * s.nbytes / torus.effective_bandwidth
+            )
             worst = max(worst, t)
-        return worst + t_lock
+        return worst
 
     @staticmethod
     def _halo_width(decomp: Decomposition) -> int:
         # The paper's stencil radius; grids carry no radius, the FD op does.
         return 2
-
-    def _count_messages(self, decomp: Decomposition) -> int:
-        """Remote messages per domain per (unbatched) exchange."""
-        w = self._halo_width(decomp)
-        return sum(
-            1
-            for dim in range(3)
-            for step in (+1, -1)
-            if decomp.send_bytes(0, dim, step, w) > 0
-        )
 
     # -- the four approaches ---------------------------------------------------
     def evaluate(
@@ -211,34 +204,47 @@ class PerformanceModel:
         batch_size: int = 1,
         ramp_up: bool = False,
     ) -> FDTiming:
-        """Predict one FD invocation's timing."""
+        """Predict one FD invocation's timing by walking the compiled plan.
+
+        The schedule itself — batching rounds, message sizes, barrier and
+        worker structure — comes from :func:`repro.core.schedule.compile_schedule`,
+        the same plan the functional engine interprets and the DES replays;
+        this model only attaches costs to the plan's representative
+        (busiest) worker.
+        """
         check_positive_int(n_cores, "n_cores")
-        check_positive_int(batch_size, "batch_size")
-        if not approach.supports_batching and batch_size != 1:
-            raise ValueError(f"{approach.name} does not support batching")
         decomp = self._decomposition(job, approach, n_cores)
+        plan = compile_schedule(
+            approach,
+            decomp,
+            job.n_grids,
+            batch_size,
+            ramp_up,
+            halo_width=self._halo_width(decomp),
+            n_workers=timing_plane_workers(approach, n_cores),
+        )
         w = self._halo_width(decomp)
         t_point = self._point_time(decomp)
         t_point_base = self.spec.stencil_point_time
         block_points = decomp.max_block_points()
-        threads = min(4, n_cores) if approach.is_hybrid else 1
-        ranks_per_node = min(4, n_cores) if not approach.is_hybrid else 1
-        G = job.n_grids
+        threads = min(4, n_cores) if plan.uses_thread_team else 1
+        ranks_per_node = min(4, n_cores) if not plan.uses_thread_team else 1
 
         msg_bytes = max(
             (decomp.send_bytes(0, dim, +1, w) for dim in range(3)), default=0
         )
-        n_dirs = self._count_messages(decomp)
+        # Representative worker: the first worker of domain 0 (contiguous
+        # splitting gives the leading worker the most grids).
+        rep = plan.rank_plan(0).workers[0]
+        rounds = rep.rounds
 
-        if approach.serialized_exchange:
-            return self._evaluate_original(
-                job, approach, n_cores, decomp, ranks_per_node
-            )
+        if plan.blocking:
+            return self._evaluate_original(job, approach, n_cores, decomp, rep)
 
-        # ---- optimized approaches: build per-round comm/comp sequences ----
+        # ---- pipelined plans: attach costs to each compiled round ----
         spawn_join = (
             self.spec.threads.spawn_time + self.spec.threads.join_time
-            if approach.is_hybrid
+            if plan.uses_thread_team
             else 0.0
         )
         ideal_per_core = job.total_points / n_cores * t_point_base
@@ -246,85 +252,65 @@ class PerformanceModel:
         # burns core time; MULTIPLE-mode calls additionally queue on the
         # rank's lock behind the other threads.  This is the cost batching
         # amortizes (one call moves a whole batch).
-        calls_per_round = 2 * n_dirs + 1
+        calls_per_round = len(rounds[0].sends) + len(rounds[0].recvs) + 1
         call_cpu = self.spec.threads.mpi_call_cpu_time
         if approach.thread_mode.pays_lock_overhead:
             call_cpu += threads * self.spec.threads.mpi_multiple_overhead
         round_call_cpu = calls_per_round * call_cpu
-        if approach.sync_per_grid:
+        if plan.sync_per_grid:
             # Hybrid master-only: batches of whole grids; 4 cores split each
             # grid (so each thread streams a quarter block plus its halo —
             # a deeper small-block penalty); a thread barrier after every
-            # grid.
+            # grid (the plan's ``GridBarrier`` steps).
             quarter = list(decomp.block_shape(0))
             axis = quarter.index(max(quarter))
             quarter[axis] = max(1, math.ceil(quarter[axis] / threads))
             t_quarter = t_point_base * self._halo_factor(quarter)
-            batches = batch_schedule(G, batch_size, ramp_up)
             comp = [
-                len(b)
+                len(r.grid_ids)
                 * (
                     block_points / threads * t_quarter
                     + self.spec.threads.barrier_time
                 )
-                for b in batches
+                for r in rounds
             ]
             # The master thread pays the per-call CPU cost on the comm path.
             comm = [
-                self._round_comm_time(decomp, n_cores, len(b), 1, 0)
+                self._round_comm_time(r.sends, decomp, n_cores, 1)
                 + round_call_cpu
-                for b in batches
+                for r in rounds
             ]
-            sync = G * self.spec.threads.barrier_time + spawn_join
-        elif approach.is_hybrid:
-            # Hybrid multiple: whole grids dealt to 4 threads, each thread
-            # pipelines its own batches; per round all threads exchange one
-            # batch each (streams_per_link = threads).  Each thread burns
-            # per-call CPU (with lock queueing) before its compute.
-            grids_per_thread = math.ceil(G / threads)
-            batches = batch_schedule(grids_per_thread, batch_size, ramp_up)
-            comp = [
-                len(b) * block_points * t_point + round_call_cpu for b in batches
-            ]
-            comm = [
-                self._round_comm_time(decomp, n_cores, len(b), threads, 0)
-                for b in batches
-            ]
-            sync = spawn_join + len(batches) * calls_per_round * threads * (
-                self.spec.threads.mpi_multiple_overhead
+            sync = (
+                plan.grid_barriers_per_rank * self.spec.threads.barrier_time
+                + spawn_join
             )
-        elif not approach.decompose_per_rank:
-            # Flat sub-groups (section VII-A): hybrid multiple's structure
-            # with virtual-node ranks — node-level decomposition, whole
-            # grids dealt to the node's four ranks, no thread costs.
-            workers = min(4, n_cores)
-            grids_per_rank = math.ceil(G / workers)
-            batches = batch_schedule(grids_per_rank, batch_size, ramp_up)
-            comp = [
-                len(b) * block_points * t_point + round_call_cpu for b in batches
-            ]
-            comm = [
-                self._round_comm_time(decomp, n_cores, len(b), workers, 0)
-                for b in batches
-            ]
-            sync = 0.0
         else:
-            # Flat optimized: every rank owns all G grids of its block; the
-            # node's 4 ranks share each link (streams_per_link = 4).
-            batches = batch_schedule(G, batch_size, ramp_up)
+            # Pipelined workers (flat optimized, flat sub-groups, hybrid
+            # multiple): each worker double-buffers its own rounds; per
+            # round, every worker sharing the node's links exchanges one
+            # batch.  Flat optimized has one worker per rank but four
+            # virtual-node ranks per node; the node-level variants have
+            # ``plan.n_workers`` workers on one domain — either way the
+            # per-direction link carries that many streams.
+            streams = plan.n_workers if plan.n_workers > 1 else ranks_per_node
             comp = [
-                len(b) * block_points * t_point + round_call_cpu for b in batches
+                len(r.grid_ids) * block_points * t_point + round_call_cpu
+                for r in rounds
             ]
             comm = [
-                self._round_comm_time(decomp, n_cores, len(b), ranks_per_node, 0)
-                for b in batches
+                self._round_comm_time(r.sends, decomp, n_cores, streams)
+                for r in rounds
             ]
-            sync = 0.0
+            sync = spawn_join
+            if approach.thread_mode.pays_lock_overhead:
+                sync += len(rounds) * calls_per_round * threads * (
+                    self.spec.threads.mpi_multiple_overhead
+                )
 
         total = _pipeline_time(comm, comp) + spawn_join
         compute_per_core = sum(comp)
         exposed = total - spawn_join - compute_per_core
-        msgs_per_rank = n_dirs * len(batches) * (1 if not approach.is_hybrid else threads)
+        msgs_per_rank = rep.message_count * (threads if plan.uses_thread_team else 1)
 
         return FDTiming(
             approach_name=approach.name,
@@ -335,7 +321,9 @@ class PerformanceModel:
             compute_ideal=ideal_per_core,
             comm_exposed=max(0.0, exposed),
             sync=sync,
-            comm_bytes_per_node=self._comm_per_node(decomp, approach, n_cores, G),
+            comm_bytes_per_node=self._comm_per_node(
+                decomp, approach, n_cores, job.n_grids
+            ),
             messages_per_rank=msgs_per_rank,
             message_bytes=msg_bytes,
         )
@@ -346,15 +334,17 @@ class PerformanceModel:
         approach: Approach,
         n_cores: int,
         decomp: Decomposition,
-        ranks_per_node: int,
+        rep,
     ) -> FDTiming:
-        """Flat original: serialized blocking exchange, zero overlap.
+        """Blocking plans (flat original): serialized exchange, zero overlap.
 
-        The original code exchanges one dimension at a time with blocking
-        calls and, within a dimension, completes the +direction transfer
-        before the -direction one (a blocking send/receive pair per side,
-        with no DMA-driven overlap between them) — hence the factor two on
-        each dimension's time.
+        The compiled plan serializes every direction of every grid's
+        exchange (a blocking send/receive pair per direction, with no
+        DMA-driven overlap between them), so the cost is the plain sum of
+        each compiled send plus the round's computation.  ``2L``: a
+        blocking exchange pays both the send- and the receive-side
+        software overhead (nothing is hidden behind the DMA engine in the
+        original code).
 
         Unlike the optimized schedules, the node's four virtual-mode ranks
         do *not* contend on the shared links here: the blocking pattern
@@ -366,22 +356,17 @@ class PerformanceModel:
         w = self._halo_width(decomp)
         t_point = self._point_time(decomp)
         block_points = decomp.max_block_points()
-        G = job.n_grids
 
-        comm_per_grid = 0.0
-        for dim in range(3):
-            s = decomp.send_bytes(0, dim, +1, w)
-            if s == 0:
-                continue
-            factor = self._mesh_factor(n_cores, decomp, dim)
-            # 2x: the +/- directions serialize; 2L: a blocking exchange pays
-            # both the send- and the receive-side software overhead (nothing
-            # is hidden behind the DMA engine in the original code).
-            comm_per_grid += 2 * (
-                2 * torus.message_overhead + factor * s / torus.effective_bandwidth
-            )
-        compute = G * block_points * t_point
-        comm = G * comm_per_grid
+        compute = 0.0
+        comm = 0.0
+        for r in rep.rounds:
+            compute += len(r.grid_ids) * block_points * t_point
+            for s in r.sends:
+                factor = self._mesh_factor(n_cores, decomp, s.dim)
+                comm += (
+                    2 * torus.message_overhead
+                    + factor * s.nbytes / torus.effective_bandwidth
+                )
         total = compute + comm
         return FDTiming(
             approach_name=approach.name,
@@ -392,8 +377,10 @@ class PerformanceModel:
             compute_ideal=job.total_points / n_cores * self.spec.stencil_point_time,
             comm_exposed=comm,
             sync=0.0,
-            comm_bytes_per_node=self._comm_per_node(decomp, approach, n_cores, G),
-            messages_per_rank=self._count_messages(decomp) * G,
+            comm_bytes_per_node=self._comm_per_node(
+                decomp, approach, n_cores, job.n_grids
+            ),
+            messages_per_rank=rep.message_count,
             message_bytes=max(
                 (decomp.send_bytes(0, dim, +1, w) for dim in range(3)), default=0
             ),

@@ -1,0 +1,640 @@
+"""The schedule IR: one compiled plan executed by all three planes.
+
+The four programming approaches used to be implemented three separate
+times — as imperative communication loops in the functional engine
+(:mod:`repro.core.engine`), as generator processes in the DES runner
+(:mod:`repro.core.simrun`), and as closed-form cost sums in the analytic
+model (:mod:`repro.core.perfmodel`).  This module factors the *schedule*
+out of all three: :func:`compile_schedule` lowers
+``Approach x Decomposition x batch config`` to an explicit per-worker
+list of typed steps, and each plane interprets those steps in its own
+currency (real NumPy transfers, simulated-MPI events, cost formulas).
+
+Step types
+----------
+
+``PostSend``/``PostRecv``
+    Start one non-blocking halo message (one direction, one batch of
+    grids).  ``seq`` numbers exchanges globally — every rank derives the
+    same numbering from the same logical layout, so
+    ``message_tag(seq, dim, step)`` matches across ranks without any
+    negotiation.
+``WaitAll``
+    Complete every receive posted under one ``seq``; ghost slabs may be
+    unpacked afterwards.
+``ApplyLocalWraps`` / ``ComputeBoundary`` / ``ComputeInterior``
+    Ghost finalization (periodic self-wraps, boundary zeroing) and the
+    stencil kernel for one grid.  Only ``ComputeInterior`` costs time in
+    the timing planes; the split keeps the functional semantics explicit.
+``GridBarrier``
+    Hybrid master-only's per-grid thread barrier (section VI).
+``JoinBarrier``
+    End-of-invocation marker for one worker of a thread team; the thread
+    spawn/join cost lives here in the timing planes.
+
+Plan structure
+--------------
+
+A :class:`SchedulePlan` holds the *logical* schedule — worker grid
+ownership and the global round/seq layout, identical on every rank — and
+instantiates concrete per-rank step lists lazily (:meth:`~SchedulePlan
+.rank_plan`), since only small configurations ever materialize more than
+one rank's steps (the analytic model walks the representative rank 0 of
+16384-core plans).  Grid ids inside steps are *logical indices*
+``0..n_grids-1``; the functional engine maps them onto its callers' grid
+ids, the timing planes use them as-is.
+
+Plans are cached in a module-level LRU keyed on
+``(approach, decomposition, n_grids, batch_size, ramp_up, halo width,
+workers)`` — all frozen dataclasses — so an SCF loop compiles once and
+re-executes per iteration, and the three planes evaluating the same
+configuration share one plan object.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from repro.core.approaches import Approach
+from repro.core.batching import batch_schedule, split_among_workers
+from repro.grid.decompose import Decomposition
+from repro.util.validation import check_positive_int
+
+#: the paper's stencil radius — the default halo width of compiled plans
+DEFAULT_HALO_WIDTH = 2
+
+
+def message_tag(seq: int, dim: int, step: int) -> int:
+    """The wire tag of one halo message: sequence number + direction."""
+    return seq * 8 + dim * 2 + (0 if step > 0 else 1)
+
+
+# -- step types ---------------------------------------------------------------
+@dataclass(frozen=True)
+class PostSend:
+    """Start a non-blocking send of one direction's batched slabs."""
+
+    seq: int
+    dim: int
+    step: int
+    dst: int  # destination domain
+    grid_ids: tuple[int, ...]
+    nbytes: int  # whole message (all grids of the batch)
+    slot: int = 0  # rank offset within a node (flat sub-groups)
+
+    @property
+    def tag(self) -> int:
+        return message_tag(self.seq, self.dim, self.step)
+
+
+@dataclass(frozen=True)
+class PostRecv:
+    """Post the matching non-blocking receive for one direction."""
+
+    seq: int
+    dim: int
+    step: int
+    src: int  # source domain
+    grid_ids: tuple[int, ...]
+    nbytes: int
+    slot: int = 0
+
+    @property
+    def tag(self) -> int:
+        return message_tag(self.seq, self.dim, self.step)
+
+
+@dataclass(frozen=True)
+class WaitAll:
+    """Complete every receive posted under ``seq``."""
+
+    seq: int
+    grid_ids: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ApplyLocalWraps:
+    """Copy one grid's periodic self-wrap slabs (plain memcpys)."""
+
+    grid_id: int
+
+
+@dataclass(frozen=True)
+class ComputeBoundary:
+    """Finalize one grid's non-periodic ghost shells (zeroing)."""
+
+    grid_id: int
+
+
+@dataclass(frozen=True)
+class ComputeInterior:
+    """Run the stencil kernel over one grid's block."""
+
+    grid_id: int
+
+
+@dataclass(frozen=True)
+class GridBarrier:
+    """Thread barrier after one grid (hybrid master-only)."""
+
+    grid_id: int
+
+
+@dataclass(frozen=True)
+class JoinBarrier:
+    """One worker of a thread team reaches the invocation's join point."""
+
+    worker: int
+
+
+Step = Union[
+    PostSend,
+    PostRecv,
+    WaitAll,
+    ApplyLocalWraps,
+    ComputeBoundary,
+    ComputeInterior,
+    GridBarrier,
+    JoinBarrier,
+]
+
+
+@dataclass(frozen=True)
+class ExchangeRound:
+    """One batch exchange as seen by its worker (for cost walking)."""
+
+    seq: int
+    grid_ids: tuple[int, ...]
+    sends: tuple[PostSend, ...]
+    recvs: tuple[PostRecv, ...]
+
+
+@dataclass(frozen=True)
+class WorkerPlan:
+    """The step list of one worker (thread, sub-group rank, or the rank)."""
+
+    index: int
+    slot: int
+    grid_ids: tuple[int, ...]
+    steps: tuple[Step, ...]
+    rounds: tuple[ExchangeRound, ...]
+
+    @property
+    def message_count(self) -> int:
+        """Messages this worker sends per invocation."""
+        return sum(len(r.sends) for r in self.rounds)
+
+
+@dataclass(frozen=True)
+class RankPlan:
+    """All workers of one rank (domain)."""
+
+    domain: int
+    workers: tuple[WorkerPlan, ...]
+
+    @property
+    def message_count(self) -> int:
+        return sum(w.message_count for w in self.workers)
+
+    @property
+    def barrier_count(self) -> int:
+        return sum(
+            1 for w in self.workers for s in w.steps if isinstance(s, GridBarrier)
+        )
+
+
+class SchedulePlan:
+    """One compiled schedule: logical layout + lazy per-rank step lists."""
+
+    def __init__(
+        self,
+        approach: Approach,
+        decomp: Decomposition,
+        n_grids: int,
+        batch_size: int,
+        ramp_up: bool,
+        halo_width: int,
+        n_workers: int,
+    ):
+        self.approach = approach
+        self.decomp = decomp
+        self.n_grids = n_grids
+        self.batch_size = batch_size
+        self.ramp_up = ramp_up
+        self.halo_width = halo_width
+        self.n_workers = n_workers
+        # structural flags — the planes branch on *these*, not on Approach
+        self.blocking = approach.serialized_exchange
+        self.double_buffered = approach.double_buffering
+        self.sync_per_grid = approach.sync_per_grid
+        self.uses_thread_team = approach.is_hybrid
+        #: flat sub-groups: workers are the node's virtual-mode ranks
+        #: (slot offsets), not threads of one rank
+        self.workers_are_ranks = not (
+            approach.is_hybrid
+            or approach.decompose_per_rank
+            or approach.serialized_exchange
+        )
+
+        # logical layout, identical on every rank: worker grid ownership
+        # and the global (seq, batch) rounds
+        if self.blocking or self.sync_per_grid:
+            self._worker_grids = [tuple(range(n_grids))]
+        else:
+            self._worker_grids = [
+                tuple(g)
+                for g in split_among_workers(list(range(n_grids)), n_workers)
+            ]
+        self._logical_rounds: list[list[tuple[int, tuple[int, ...]]]] = []
+        seq = 0
+        for wg in self._worker_grids:
+            rounds: list[tuple[int, tuple[int, ...]]] = []
+            if self.blocking:
+                # one blocking exchange round per grid; seq == grid index
+                rounds = [(g, (g,)) for g in wg]
+            elif wg:
+                for batch in batch_schedule(len(wg), batch_size, ramp_up):
+                    rounds.append((seq, tuple(wg[i] for i in batch)))
+                    seq += 1
+            self._logical_rounds.append(rounds)
+
+        self._rank_plans: dict[int, RankPlan] = {}
+        self._dir_cache: dict[int, tuple[list, list]] = {}
+
+    # -- geometry ---------------------------------------------------------
+    def _directions(self, domain: int) -> tuple[list, list]:
+        """(outgoing, incoming) remote directions of one domain.
+
+        Each entry is ``(dim, step, peer_domain, nbytes_per_grid)``; the
+        receive bytes come from the *sender's* face (blocks may be
+        uneven).  Canonical order: dimension-major, +1 before -1 —
+        matching the halo-message geometry every plane uses.
+        """
+        cached = self._dir_cache.get(domain)
+        if cached is not None:
+            return cached
+        d, w = self.decomp, self.halo_width
+        sends, recvs = [], []
+        for dim in range(3):
+            for step in (+1, -1):
+                nbytes = d.send_bytes(domain, dim, step, w)
+                if nbytes > 0:
+                    sends.append((dim, step, d.neighbor(domain, dim, step), nbytes))
+                src = d.neighbor(domain, dim, -step)
+                if src is not None and src != domain:
+                    recvs.append((dim, step, src, d.send_bytes(src, dim, step, w)))
+        self._dir_cache[domain] = (sends, recvs)
+        return sends, recvs
+
+    def n_directions(self, domain: int) -> int:
+        """Remote send directions of one domain (<= 6)."""
+        return len(self._directions(domain)[0])
+
+    # -- summary accounting (no step materialization needed) --------------
+    @property
+    def rounds_per_rank(self) -> int:
+        """Exchange rounds one rank performs (all workers together)."""
+        return sum(len(r) for r in self._logical_rounds)
+
+    @property
+    def grid_barriers_per_rank(self) -> int:
+        return self.n_grids if self.sync_per_grid else 0
+
+    def message_count(self, domain: int) -> int:
+        """Messages one domain sends per invocation (all its workers)."""
+        return self.n_directions(domain) * self.rounds_per_rank
+
+    def total_messages(self) -> int:
+        """Messages sent across all domains per invocation."""
+        return sum(
+            self.message_count(d) for d in range(self.decomp.n_domains)
+        )
+
+    # -- per-rank instantiation -------------------------------------------
+    def rank_plan(self, domain: int) -> RankPlan:
+        """The concrete step lists of one rank (built once, cached)."""
+        plan = self._rank_plans.get(domain)
+        if plan is None:
+            plan = self._build_rank_plan(domain)
+            self._rank_plans[domain] = plan
+        return plan
+
+    def _build_rank_plan(self, domain: int) -> RankPlan:
+        send_dirs, recv_dirs = self._directions(domain)
+        send_by_dir = {(d, s): (peer, nb) for d, s, peer, nb in send_dirs}
+        recv_by_dir = {(d, s): (peer, nb) for d, s, peer, nb in recv_dirs}
+        workers = []
+        for index, (grids, logical) in enumerate(
+            zip(self._worker_grids, self._logical_rounds)
+        ):
+            slot = index if self.workers_are_ranks else 0
+            steps: list[Step] = []
+            rounds: list[ExchangeRound] = []
+            if self.blocking:
+                self._emit_blocking(
+                    logical, slot, send_by_dir, recv_by_dir, steps, rounds
+                )
+            else:
+                self._emit_pipelined(
+                    logical, slot, send_dirs, recv_dirs, steps, rounds
+                )
+            if self.uses_thread_team and steps:
+                steps.append(JoinBarrier(worker=index))
+            workers.append(
+                WorkerPlan(
+                    index=index,
+                    slot=slot,
+                    grid_ids=grids,
+                    steps=tuple(steps),
+                    rounds=tuple(rounds),
+                )
+            )
+        return RankPlan(domain=domain, workers=tuple(workers))
+
+    def _emit_blocking(
+        self, logical, slot, send_by_dir, recv_by_dir, steps, rounds
+    ) -> None:
+        """Serialized exchange: per grid, per direction, send-recv-wait."""
+        for seq, batch in logical:
+            (g,) = batch
+            sends: list[PostSend] = []
+            recvs: list[PostRecv] = []
+            for dim in range(3):
+                for step in (+1, -1):
+                    snd = send_by_dir.get((dim, step))
+                    if snd is not None:
+                        ps = PostSend(seq, dim, step, snd[0], batch, snd[1], slot)
+                        sends.append(ps)
+                        steps.append(ps)
+                    rcv = recv_by_dir.get((dim, step))
+                    if rcv is not None:
+                        pr = PostRecv(seq, dim, step, rcv[0], batch, rcv[1], slot)
+                        recvs.append(pr)
+                        steps.append(pr)
+                        # blocking semantics: complete this direction
+                        # before touching the next one
+                        steps.append(WaitAll(seq=seq, grid_ids=batch))
+            rounds.append(ExchangeRound(seq, batch, tuple(sends), tuple(recvs)))
+            steps.extend(self._compute_steps(g))
+
+    def _emit_pipelined(
+        self, logical, slot, send_dirs, recv_dirs, steps, rounds
+    ) -> None:
+        """Simultaneous non-blocking exchange, optionally double-buffered."""
+        pending: Optional[tuple[int, tuple[int, ...]]] = None
+        for seq, batch in logical:
+            n = len(batch)
+            sends = tuple(
+                PostSend(seq, dim, step, peer, batch, nb * n, slot)
+                for dim, step, peer, nb in send_dirs
+            )
+            recvs = tuple(
+                PostRecv(seq, dim, step, peer, batch, nb * n, slot)
+                for dim, step, peer, nb in recv_dirs
+            )
+            steps.extend(sends)
+            steps.extend(recvs)
+            rounds.append(ExchangeRound(seq, batch, sends, recvs))
+            if self.double_buffered:
+                if pending is not None:
+                    self._emit_drain(pending, steps)
+                pending = (seq, batch)
+            else:
+                self._emit_drain((seq, batch), steps)
+        if pending is not None:
+            self._emit_drain(pending, steps)
+
+    def _emit_drain(
+        self, exchange: tuple[int, tuple[int, ...]], steps: list[Step]
+    ) -> None:
+        seq, batch = exchange
+        steps.append(WaitAll(seq=seq, grid_ids=batch))
+        for g in batch:
+            steps.extend(self._compute_steps(g))
+
+    def _compute_steps(self, g: int) -> list[Step]:
+        out: list[Step] = [ApplyLocalWraps(g), ComputeBoundary(g), ComputeInterior(g)]
+        if self.sync_per_grid:
+            out.append(GridBarrier(g))
+        return out
+
+    # -- inspection --------------------------------------------------------
+    def describe(self, domain: int = 0) -> str:
+        """Human-readable listing of one rank's compiled steps."""
+        a = self.approach
+        flags = []
+        if self.blocking:
+            flags.append("blocking serialized exchange")
+        if self.double_buffered:
+            flags.append("double-buffered")
+        if self.sync_per_grid:
+            flags.append("per-grid barrier")
+        if self.uses_thread_team:
+            flags.append("thread team")
+        if self.workers_are_ranks:
+            flags.append("workers are node-slot ranks")
+        lines = [
+            f"schedule {a.name}: {self.decomp.n_domains} domains x "
+            f"{self.n_grids} grids, batch {self.batch_size}, "
+            f"ramp-up {'on' if self.ramp_up else 'off'}, "
+            f"halo width {self.halo_width}",
+            f"  workers/rank {self.n_workers}"
+            + (", " + ", ".join(flags) if flags else ""),
+            f"  domain {domain}: {self.n_directions(domain)} remote "
+            f"directions, {self.message_count(domain)} messages, "
+            f"{self.grid_barriers_per_rank} grid barriers",
+        ]
+        for wp in self.rank_plan(domain).workers:
+            lines.append(
+                f"domain {domain} / worker {wp.index} "
+                f"(slot {wp.slot}, grids {list(wp.grid_ids)}):"
+            )
+            if not wp.steps:
+                lines.append("    (idle)")
+            for i, st in enumerate(wp.steps):
+                lines.append(f"  {i:3d}  {_format_step(st)}")
+        return "\n".join(lines)
+
+
+_DIR_SIGN = {+1: "+", -1: "-"}
+
+
+def _format_step(st: Step) -> str:
+    if isinstance(st, PostSend):
+        return (
+            f"PostSend  seq {st.seq:<3d} dim {st.dim}{_DIR_SIGN[st.step]} "
+            f"-> domain {st.dst:<3d} grids {list(st.grid_ids)}  {st.nbytes} B"
+        )
+    if isinstance(st, PostRecv):
+        return (
+            f"PostRecv  seq {st.seq:<3d} dim {st.dim}{_DIR_SIGN[st.step]} "
+            f"<- domain {st.src:<3d} grids {list(st.grid_ids)}  {st.nbytes} B"
+        )
+    if isinstance(st, WaitAll):
+        return f"WaitAll   seq {st.seq:<3d} grids {list(st.grid_ids)}"
+    if isinstance(st, ApplyLocalWraps):
+        return f"ApplyLocalWraps   grid {st.grid_id}"
+    if isinstance(st, ComputeBoundary):
+        return f"ComputeBoundary   grid {st.grid_id}"
+    if isinstance(st, ComputeInterior):
+        return f"ComputeInterior   grid {st.grid_id}"
+    if isinstance(st, GridBarrier):
+        return f"GridBarrier       grid {st.grid_id}"
+    if isinstance(st, JoinBarrier):
+        return f"JoinBarrier       worker {st.worker}"
+    return repr(st)
+
+
+# -- compilation and caching --------------------------------------------------
+class PlanCache:
+    """A thread-safe LRU of compiled plans with hit/miss accounting.
+
+    The functional engine's rank threads compile concurrently; the lock
+    keeps the bookkeeping consistent (a duplicate compile would be
+    harmless but would skew the statistics the benchmarks report).
+    """
+
+    def __init__(self, maxsize: int = 256):
+        check_positive_int(maxsize, "maxsize")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._plans: "OrderedDict[tuple, SchedulePlan]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: tuple) -> Optional[SchedulePlan]:
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+                self._plans.move_to_end(key)
+            return plan
+
+    def put(self, key: tuple, plan: SchedulePlan) -> None:
+        with self._lock:
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.maxsize:
+                self._plans.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+
+_PLAN_CACHE = PlanCache()
+
+
+def plan_cache_stats() -> dict[str, int]:
+    """Hit/miss/size counters of the module-level plan cache."""
+    return {
+        "hits": _PLAN_CACHE.hits,
+        "misses": _PLAN_CACHE.misses,
+        "size": len(_PLAN_CACHE),
+    }
+
+
+def clear_plan_cache() -> None:
+    """Drop all cached plans and reset the counters (tests, benchmarks)."""
+    _PLAN_CACHE.clear()
+
+
+def timing_plane_workers(approach: Approach, n_cores: int) -> Optional[int]:
+    """Worker-count override the timing planes pass to the compiler.
+
+    Hybrid multiple runs one comm+compute thread per core of the node;
+    flat sub-groups runs one virtual-node rank per core.  Both are capped
+    by the cores actually available — unlike the functional plane, which
+    always emulates the full four-thread team (`Approach.compute_threads`)
+    regardless of any simulated core count.  Returns ``None`` (compiler
+    default) for the single-worker approaches.
+    """
+    if approach.serialized_exchange or approach.sync_per_grid:
+        return None
+    if approach.is_hybrid or not approach.decompose_per_rank:
+        return min(4, n_cores)
+    return None
+
+
+def compile_schedule(
+    approach: Approach,
+    decomp: Decomposition,
+    n_grids: int,
+    batch_size: int = 1,
+    ramp_up: bool = False,
+    *,
+    halo_width: int = DEFAULT_HALO_WIDTH,
+    n_workers: Optional[int] = None,
+    use_cache: bool = True,
+) -> SchedulePlan:
+    """Compile (or fetch from cache) the plan for one configuration.
+
+    ``n_workers`` overrides the per-rank worker count for the pipelined
+    approaches (hybrid threads, sub-group ranks); the default is
+    ``approach.compute_threads``.  Serialized and master-only schedules
+    always run a single worker per rank.
+    """
+    check_positive_int(n_grids, "n_grids")
+    check_positive_int(halo_width, "halo_width")
+    approach.validate_batch_size(batch_size)
+    if approach.serialized_exchange or approach.sync_per_grid:
+        resolved = 1
+    elif n_workers is not None:
+        resolved = check_positive_int(n_workers, "n_workers")
+    else:
+        resolved = approach.compute_threads
+    key = (approach, decomp, n_grids, batch_size, ramp_up, halo_width, resolved)
+    if use_cache:
+        plan = _PLAN_CACHE.get(key)
+        if plan is not None:
+            return plan
+    plan = SchedulePlan(
+        approach, decomp, n_grids, batch_size, ramp_up, halo_width, resolved
+    )
+    if use_cache:
+        _PLAN_CACHE.put(key, plan)
+    return plan
+
+
+# -- functional-plane tracing -------------------------------------------------
+def tracer_hook(
+    tracer, rank: int, worker_prefix: str = "rank"
+) -> Callable[[Step, int, float, float], None]:
+    """An ``on_step`` hook feeding a :class:`repro.des.trace.Tracer`.
+
+    Pass the result to ``DistributedStencil.apply(..., on_step=...)`` and
+    a *real* functional run records the same kind of Gantt trace the DES
+    produces: one resource per worker (``rank3.w0``), one span per step,
+    timestamps relative to the rank's first step.  Use one tracer per
+    rank — ``Tracer`` is not thread-safe across rank threads.
+    """
+    origin: list[float] = []
+
+    def hook(step: Step, worker: int, start: float, end: float) -> None:
+        if not origin:
+            origin.append(start)
+        label = type(step).__name__
+        gid = getattr(step, "grid_id", None)
+        if gid is not None:
+            label += f" g{gid}"
+        seq = getattr(step, "seq", None)
+        if seq is not None:
+            label += f" seq{seq}"
+        tracer.record(
+            f"{worker_prefix}{rank}.w{worker}",
+            start - origin[0],
+            end - origin[0],
+            label,
+        )
+
+    return hook

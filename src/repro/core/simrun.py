@@ -1,11 +1,16 @@
-"""Message-level simulation of the FD schedules on the DES machine.
+"""Message-level replay of compiled schedule plans on the DES machine.
 
 Where :mod:`repro.core.perfmodel` is closed-form, this module *executes*
-the four schedules: every rank (or hybrid thread) is a DES process issuing
+the schedules: every rank (or hybrid thread) is a DES process issuing
 simulated-MPI calls and core computations, with exact link contention and
-lock serialization.  It is exact but O(ranks x grids x messages) in events,
-so it is meant for small configurations — the test suite uses it to
-validate the analytic model, which then extrapolates to paper scale.
+lock serialization.  The schedule itself is not built here — the runner
+replays the same :class:`repro.core.schedule.SchedulePlan` the functional
+engine interprets, mapping each step to simulated calls with timing
+(``PostSend``/``PostRecv`` to ``isend``/``irecv``, ``ComputeInterior`` to
+core occupancy, ``GridBarrier`` to the thread-barrier cost).  It is exact
+but O(ranks x grids x messages) in events, so it is meant for small
+configurations — the test suite uses it to validate the analytic model,
+which then extrapolates to paper scale.
 
 Domain placement
 ----------------
@@ -25,8 +30,21 @@ from dataclasses import dataclass
 from typing import Generator, Optional
 
 from repro.core.approaches import Approach
-from repro.core.batching import batch_schedule, split_among_workers
 from repro.core.perfmodel import FDJob
+from repro.core.schedule import (
+    ApplyLocalWraps,
+    ComputeBoundary,
+    ComputeInterior,
+    GridBarrier,
+    PostRecv,
+    PostSend,
+    RankPlan,
+    WaitAll,
+    WorkerPlan,
+    compile_schedule,
+    message_tag,
+    timing_plane_workers,
+)
 from repro.des.core import Event
 from repro.des.trace import Tracer
 from repro.grid.decompose import Decomposition
@@ -138,9 +156,7 @@ class _FDSimulation:
         trace: bool = False,
     ) -> None:
         check_positive_int(n_cores, "n_cores")
-        check_positive_int(batch_size, "batch_size")
-        if not approach.supports_batching and batch_size != 1:
-            raise ValueError(f"{approach.name} does not support batching")
+        approach.validate_batch_size(batch_size)
         self.job = job
         self.approach = approach
         self.n_cores = n_cores
@@ -171,216 +187,129 @@ class _FDSimulation:
         axis = quarter.index(max(quarter))
         quarter[axis] = max(1, math.ceil(quarter[axis] / threads))
         self.t_point_quarter = halo_point_time(quarter)
-        # remote directions: (dim, step, dst_domain, nbytes)
-        self.directions: dict[int, list[tuple[int, int, int, int]]] = {}
+        # The schedule is not built here: compile (or fetch from cache)
+        # the same plan the functional engine interprets and replay it.
+        self.plan = compile_schedule(
+            approach,
+            self.decomp,
+            job.n_grids,
+            batch_size,
+            ramp_up,
+            halo_width=HALO_WIDTH,
+            n_workers=timing_plane_workers(approach, n_cores),
+        )
 
-    def remote_dirs(self, domain: int) -> list[tuple[int, int, int, int]]:
-        """Outgoing remote (dim, step, dst_domain, bytes) for a domain."""
-        if domain not in self.directions:
-            dirs = []
-            for dim in range(3):
-                for step in (+1, -1):
-                    nbytes = self.decomp.send_bytes(domain, dim, step, HALO_WIDTH)
-                    if nbytes > 0:
-                        dirs.append(
-                            (dim, step, self.decomp.neighbor(domain, dim, step), nbytes)
-                        )
-            self.directions[domain] = dirs
-        return self.directions[domain]
+    # -- step replay ----------------------------------------------------------
+    def replay_worker(self, ctx: RankContext, wp: WorkerPlan) -> Proc:
+        """Replay one worker's compiled steps as timed simulated-MPI calls.
 
-    @staticmethod
-    def _dirtag(dim: int, step: int) -> int:
-        return dim * 2 + (0 if step > 0 else 1)
-
-    def _tag(self, seq: int, dim: int, step: int) -> int:
-        return seq * 8 + self._dirtag(dim, step)
-
-    # -- schedule fragments ---------------------------------------------------
-    def _call_cpu_seconds(self, domain: int) -> float:
-        """CPU burned by one round's MPI calls (sends + recvs + waitall)."""
-        calls = 2 * len(self.remote_dirs(domain)) + 1
-        return calls * self.spec.threads.mpi_call_cpu_time
-
-    def _start_exchange(
-        self, ctx: RankContext, domain: int, n_grids: int, seq: int, slot: int = 0
-    ) -> Proc:
-        """Initiate a batch exchange; returns the recv requests to wait on.
-
-        ``slot`` offsets the peer rank within its node — the flat
-        sub-groups variant runs four ranks per node-level domain, and each
-        slot exchanges with the *same* slot on the neighbouring node.
+        Besides the steps themselves, the worker pays the per-round CPU
+        cost of entering the MPI library (sends + recvs + one waitall per
+        exchange round) — charged when a round's calls are issued, which
+        under double buffering is one round ahead of the ``WaitAll`` being
+        replayed.  Blocking plans pay no separate call CPU (the fixed cost
+        sits inside the network model's per-message overhead).
         """
-        recvs = []
-        for dim, step, dst, nbytes in self.remote_dirs(domain):
-            yield from ctx.isend(
-                self.rank_of_domain[dst] + slot,
-                nbytes * n_grids,
-                self._tag(seq, dim, step),
-            )
-        for dim, step, _, nbytes in self.remote_dirs(domain):
-            src = self.decomp.neighbor(domain, dim, -step)
-            assert src is not None
-            req = yield from ctx.irecv(
-                self.rank_of_domain[src] + slot, self._tag(seq, dim, step)
-            )
-            recvs.append(req)
-        return recvs
-
-    def _compute(self, ctx: RankContext, n_grids: int, points: Optional[int] = None) -> Proc:
-        points = self.block_points if points is None else points
-        yield from ctx.compute(n_grids * points * self.t_point)
-
-    # -- per-approach rank/thread programs -----------------------------------
-    def flat_original_rank(self, ctx: RankContext, domain: int) -> Proc:
-        """Serialized per-dimension blocking exchange, grid by grid.
-
-        Within a dimension the two directions are blocking send/receive
-        pairs executed one after the other (the original code has no
-        DMA-driven overlap), mirroring the analytic model's factor two.
-        """
-        for gid in range(self.job.n_grids):
-            for dim in range(3):
-                dirs = [d for d in self.remote_dirs(domain) if d[0] == dim]
-                for _, step, dst, nbytes in dirs:
-                    yield from ctx.isend(
-                        self.rank_of_domain[dst], nbytes, self._tag(gid, dim, step)
+        plan = self.plan
+        rounds = wp.rounds
+        t_call = self.spec.threads.mpi_call_cpu_time
+        lookahead = 1 if plan.double_buffered else 0
+        next_round = 0
+        pending: dict[int, list] = {}
+        for st in wp.steps:
+            if (
+                not plan.blocking
+                and t_call
+                and isinstance(st, (PostSend, PostRecv, WaitAll))
+            ):
+                limit = st.seq + (lookahead if isinstance(st, WaitAll) else 0)
+                while next_round < len(rounds) and rounds[next_round].seq <= limit:
+                    r = rounds[next_round]
+                    next_round += 1
+                    yield from ctx.compute(
+                        (len(r.sends) + len(r.recvs) + 1) * t_call
                     )
-                    src = self.decomp.neighbor(domain, dim, -step)
-                    assert src is not None
-                    req = yield from ctx.irecv(
-                        self.rank_of_domain[src], self._tag(gid, dim, step)
-                    )
-                    yield from ctx.wait(req)
-            yield from self._compute(ctx, 1)
-
-    def pipelined_rank(
-        self,
-        ctx: RankContext,
-        domain: int,
-        grid_ids: list[int],
-        seq_base: int,
-        slot: int = 0,
-    ) -> Proc:
-        """Double-buffered batch pipeline (flat optimized / one hybrid thread)."""
-        if not grid_ids:
-            return
-        batches = batch_schedule(len(grid_ids), self.batch_size, self.ramp_up)
-        call_cpu = self._call_cpu_seconds(domain)
-        pending: Optional[tuple[list, int]] = None
-        for i, batch in enumerate(batches):
-            if call_cpu:
-                yield from ctx.compute(call_cpu)
-            reqs = yield from self._start_exchange(
-                ctx, domain, len(batch), seq_base + i, slot
-            )
-            if pending is not None:
-                prev_reqs, prev_n = pending
-                if prev_reqs:
-                    yield from ctx.waitall(prev_reqs)
-                yield from self._compute(ctx, prev_n)
-            pending = (reqs, len(batch))
-        prev_reqs, prev_n = pending  # type: ignore[misc]
-        if prev_reqs:
-            yield from ctx.waitall(prev_reqs)
-        yield from self._compute(ctx, prev_n)
-
-    def master_only_node(self, ctx: RankContext, domain: int) -> Proc:
-        """Master thread exchanges; four cores split each grid; per-grid barrier."""
-        threads = min(4, self.n_cores)
-        spawn = self.spec.threads.spawn_time
-        join = self.spec.threads.join_time
-        barrier = self.spec.threads.barrier_time
-        yield ctx.sim.timeout(spawn)
-        batches = batch_schedule(self.job.n_grids, self.batch_size, self.ramp_up)
-        call_cpu = self._call_cpu_seconds(domain)
-        pending: Optional[tuple[list, int]] = None
-        for i, batch in enumerate(batches):
-            if call_cpu:
-                yield from ctx.compute(call_cpu)
-            reqs = yield from self._start_exchange(ctx, domain, len(batch), i)
-            if pending is not None:
-                yield from self._master_compute(ctx, pending, threads, barrier)
-            pending = (reqs, len(batch))
-        yield from self._master_compute(ctx, pending, threads, barrier)  # type: ignore[arg-type]
-        yield ctx.sim.timeout(join)
-
-    def _master_compute(
-        self, ctx: RankContext, pending: tuple[list, int], threads: int, barrier: float
-    ) -> Proc:
-        reqs, n_grids = pending
-        if reqs:
-            yield from ctx.waitall(reqs)
-        per_thread_points = math.ceil(self.block_points / threads)
-        for _ in range(n_grids):
-            workers = [
-                ctx.sim.spawn(
-                    ctx.on_core(t).compute(per_thread_points * self.t_point_quarter),
-                    name=f"mo-compute-core{t}",
+            if isinstance(st, PostSend):
+                yield from ctx.isend(
+                    self.rank_of_domain[st.dst] + st.slot,
+                    st.nbytes,
+                    message_tag(st.seq, st.dim, st.step),
                 )
-                for t in range(threads)
-            ]
-            yield ctx.sim.all_of(workers)
-            yield ctx.sim.timeout(barrier)
+            elif isinstance(st, PostRecv):
+                req = yield from ctx.irecv(
+                    self.rank_of_domain[st.src] + st.slot,
+                    message_tag(st.seq, st.dim, st.step),
+                )
+                pending.setdefault(st.seq, []).append(req)
+            elif isinstance(st, WaitAll):
+                reqs = pending.pop(st.seq, [])
+                if reqs:
+                    yield from ctx.waitall(reqs)
+            elif isinstance(st, ComputeInterior):
+                if plan.sync_per_grid:
+                    yield from self._quarter_compute(ctx)
+                else:
+                    yield from ctx.compute(self.block_points * self.t_point)
+            elif isinstance(st, GridBarrier):
+                yield ctx.sim.timeout(self.spec.threads.barrier_time)
+            elif isinstance(st, (ApplyLocalWraps, ComputeBoundary)):
+                # in-block memcpys/zeroing: free at this fidelity (their
+                # cost is inside the calibrated per-point compute time)
+                pass
+            # JoinBarrier: the node wrapper pays the join cost once
 
-    def hybrid_multiple_node(self, ctx: RankContext, domain: int) -> Proc:
-        """Four threads, each communicating for its own whole grids."""
+    def _quarter_compute(self, ctx: RankContext) -> Proc:
+        """Master-only's shared-grid kernel: four cores split one grid."""
         threads = min(4, self.n_cores)
-        yield ctx.sim.timeout(self.spec.threads.spawn_time)
-        groups = split_among_workers(list(range(self.job.n_grids)), threads)
-        seq_stride = max(1, math.ceil(self.job.n_grids / self.batch_size) + 2)
+        per_thread_points = math.ceil(self.block_points / threads)
         workers = [
             ctx.sim.spawn(
-                self.pipelined_rank(
-                    ctx.on_core(t), domain, groups[t], seq_base=t * seq_stride
-                ),
-                name=f"hm-thread{t}",
+                ctx.on_core(t).compute(per_thread_points * self.t_point_quarter),
+                name=f"mo-compute-core{t}",
             )
             for t in range(threads)
-            if groups[t]
         ]
         yield ctx.sim.all_of(workers)
-        yield ctx.sim.timeout(self.spec.threads.join_time)
+
+    def node_program(self, ctx: RankContext, rp: RankPlan) -> Proc:
+        """One rank's program: its workers, plus thread team spawn/join."""
+        if self.plan.uses_thread_team:
+            yield ctx.sim.timeout(self.spec.threads.spawn_time)
+            team = [
+                ctx.sim.spawn(
+                    self.replay_worker(ctx.on_core(wp.index), wp),
+                    name=f"{self.approach.name}-d{rp.domain}.t{wp.index}",
+                )
+                for wp in rp.workers
+                if wp.steps
+            ]
+            if team:
+                yield ctx.sim.all_of(team)
+            yield ctx.sim.timeout(self.spec.threads.join_time)
+        else:
+            for wp in rp.workers:
+                yield from self.replay_worker(ctx, wp)
 
     # -- orchestration --------------------------------------------------------
     def run(self) -> SimResult:
         for domain in range(self.decomp.n_domains):
             rank = self.rank_of_domain[domain]
-            ctx = self.comm.context(rank)
-            if self.approach.serialized_exchange:
-                progs = [self.flat_original_rank(ctx, domain)]
-            elif self.approach.sync_per_grid:
-                progs = [self.master_only_node(ctx, domain)]
-            elif self.approach.is_hybrid:
-                progs = [self.hybrid_multiple_node(ctx, domain)]
-            elif not self.approach.decompose_per_rank:
-                # flat sub-groups (section VII-A): the node's four ranks
-                # each pipeline their own grid sub-group on the shared
-                # node-level domain.
-                workers = min(4, self.n_cores)
-                groups = split_among_workers(
-                    list(range(self.job.n_grids)), workers
-                )
-                stride = max(1, math.ceil(self.job.n_grids / self.batch_size) + 2)
-                progs = [
-                    self.pipelined_rank(
-                        self.comm.context(rank + slot),
-                        domain,
-                        groups[slot],
-                        seq_base=slot * stride,
-                        slot=slot,
-                    )
-                    for slot in range(workers)
-                    if groups[slot]
-                ]
+            rp = self.plan.rank_plan(domain)
+            if self.plan.workers_are_ranks:
+                # flat sub-groups (section VII-A): the node's virtual-mode
+                # ranks each replay their own worker, offset by slot.
+                for wp in rp.workers:
+                    if wp.steps:
+                        self.machine.sim.spawn(
+                            self.replay_worker(
+                                self.comm.context(rank + wp.slot), wp
+                            ),
+                            name=f"{self.approach.name}-d{domain}.{wp.slot}",
+                        )
             else:
-                progs = [
-                    self.pipelined_rank(
-                        ctx, domain, list(range(self.job.n_grids)), seq_base=0
-                    )
-                ]
-            for k, prog in enumerate(progs):
                 self.machine.sim.spawn(
-                    prog, name=f"{self.approach.name}-d{domain}.{k}"
+                    self.node_program(self.comm.context(rank), rp),
+                    name=f"{self.approach.name}-d{domain}",
                 )
         total = self.machine.sim.run()
         inter_bytes = sum(self.machine.torus.bytes_sent.values())

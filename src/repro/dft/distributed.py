@@ -73,6 +73,10 @@ class DistributedPoissonSolver:
         self.tolerance = tolerance
         self.max_sweeps = max_sweeps
         self.approach = approach
+        # Compile the exchange schedule once up front; every sweep's
+        # apply() re-executes this plan via the cache (one grid: the
+        # Poisson workload batching cannot help).
+        self.plan = self.engine.plan_for(approach, 1)
 
     @property
     def fully_periodic(self) -> bool:

@@ -93,6 +93,10 @@ class DistributedSCF:
         # kinetic = -1/2 laplacian; the engine is operator-agnostic
         self.kinetic_engine = DistributedStencil(self.decomp, lap.scale(-0.5))
         self.approach = approach
+        # Compile the all-bands kinetic schedule once; every Hamiltonian
+        # and preconditioner application across the SCF loop re-executes
+        # this plan via the cache instead of recompiling.
+        self.kinetic_plan = self.kinetic_engine.plan_for(approach, n_bands)
         self.poisson = DistributedPoissonSolver(
             grid, n_ranks, tolerance=1e-7, max_sweeps=20000, approach=approach
         )

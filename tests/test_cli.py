@@ -87,3 +87,18 @@ class TestCommands:
         out = run(capsys, "calibrate")
         assert "anchor error" in out
         assert "shipped spec error" in out
+
+    def test_schedule(self, capsys):
+        out = run(capsys, "schedule", "flat-optimized",
+                  "--cores", "8", "--grids", "4", "--batch-size", "2")
+        assert "schedule flat-optimized" in out
+        for token in ("PostSend", "PostRecv", "WaitAll", "ComputeInterior"):
+            assert token in out
+
+    def test_schedule_blocking_variant(self, capsys):
+        out = run(capsys, "schedule", "flat-original", "--cores", "4")
+        assert "blocking serialized exchange" in out
+
+    def test_schedule_rejects_unknown_approach(self, capsys):
+        with pytest.raises(ValueError, match="unknown approach"):
+            main(["schedule", "no-such-approach"])

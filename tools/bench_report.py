@@ -27,11 +27,19 @@ import time
 
 import numpy as np
 
+from repro.core import (
+    DistributedStencil,
+    FLAT_OPTIMIZED,
+    clear_plan_cache,
+    compile_schedule,
+)
+from repro.grid import Decomposition, GridDescriptor, HaloSpec, scatter
 from repro.stencil import (
     apply_stencil_batch,
     apply_stencil_padded,
     laplacian_coefficients,
 )
+from repro.transport import InprocTransport
 
 
 def seed_kernel_with_alloc(padded, coeffs):
@@ -109,6 +117,73 @@ def measure(n=32, batch=64, repeats=5):
     }
 
 
+def measure_plan_cache(n=32, n_grids=16, iterations=10, repeats=3):
+    """Cold-compile vs cached re-execution over SCF-style iterations.
+
+    ``uncached`` clears the plan cache before every ``apply`` — the
+    pre-refactor cost profile, where each invocation rebuilt its schedule
+    from the approach flags.  ``cached`` is the new steady state: the SCF
+    loop compiles once and re-executes the plan each iteration.  The
+    acceptance bar is that cached apply is not slower than the
+    pre-refactor apply (small tolerance for timer noise).
+    """
+    gd = GridDescriptor((n, n, n))
+    decomp = Decomposition(gd, 1)
+    coeffs = laplacian_coefficients(2, spacing=gd.spacing)
+    engine = DistributedStencil(decomp, coeffs)
+    halo = HaloSpec(2)
+    blocks = {g: scatter(gd.random(seed=g), decomp, halo)[0]
+              for g in range(n_grids)}
+    ep = InprocTransport(1).endpoint(0)
+
+    def apply_once():
+        engine.apply(ep, blocks, approach=FLAT_OPTIMIZED, batch_size=4)
+
+    def run_uncached():
+        for _ in range(iterations):
+            clear_plan_cache()
+            apply_once()
+
+    def run_cached():
+        for _ in range(iterations):
+            apply_once()
+
+    apply_once()  # warm buffers, kernels and the plan cache
+
+    def best_seconds(fn):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    uncached = best_seconds(run_uncached)
+    cached = best_seconds(run_cached)
+
+    # raw compiler cost: one cold compile vs one cache lookup
+    t0 = time.perf_counter()
+    compile_schedule(FLAT_OPTIMIZED, decomp, n_grids, 4, use_cache=False)
+    cold_compile = time.perf_counter() - t0
+    compile_schedule(FLAT_OPTIMIZED, decomp, n_grids, 4)
+    t0 = time.perf_counter()
+    compile_schedule(FLAT_OPTIMIZED, decomp, n_grids, 4)
+    cached_lookup = time.perf_counter() - t0
+
+    return {
+        "block": [n, n, n],
+        "n_grids": n_grids,
+        "iterations": iterations,
+        "repeats": repeats,
+        "cold_compile_us": round(cold_compile * 1e6, 1),
+        "cached_lookup_us": round(cached_lookup * 1e6, 1),
+        "uncached_apply_ms": round(uncached * 1e3, 3),
+        "cached_apply_ms": round(cached * 1e3, 3),
+        "cached_speedup": round(uncached / cached, 3),
+        "cached_not_slower": cached <= uncached * 1.10,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
@@ -121,8 +196,10 @@ def main(argv=None) -> int:
 
     if args.smoke:
         result = measure(n=16, batch=4, repeats=2)
+        result["plan_cache"] = measure_plan_cache(n=16, n_grids=4, repeats=2)
     else:
         result = measure()
+        result["plan_cache"] = measure_plan_cache()
     result["mode"] = "smoke" if args.smoke else "full"
     result["host"] = {
         "machine": platform.machine(),
@@ -138,10 +215,20 @@ def main(argv=None) -> int:
         print(f"  {k:>15}: {v:8.1f} Mpoints/s")
     print(f"  batched speedup over seed pattern: "
           f"{result['batched_speedup']:.2f}x")
+    pc = result["plan_cache"]
+    print(f"  plan cache: compile {pc['cold_compile_us']:.0f} us, lookup "
+          f"{pc['cached_lookup_us']:.1f} us; {pc['iterations']} SCF-style "
+          f"iterations {pc['uncached_apply_ms']:.1f} ms uncached vs "
+          f"{pc['cached_apply_ms']:.1f} ms cached "
+          f"({pc['cached_speedup']:.2f}x)")
 
     if not args.smoke and result["batched_speedup"] < 1.5:
         print("FAIL: batched speedup below the 1.5x acceptance bar",
               file=sys.stderr)
+        return 1
+    if not pc["cached_not_slower"]:
+        print("FAIL: cached apply slower than pre-refactor "
+              "(recompile-every-call) apply", file=sys.stderr)
         return 1
     return 0
 
