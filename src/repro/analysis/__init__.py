@@ -21,6 +21,20 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.formatting import format_table
 from repro.analysis.asciiplot import line_plot
+from repro.analysis.chaos import (
+    ChaosOutcome,
+    run_chaos_suite,
+    suite_passed,
+    survival_matrix,
+)
+from repro.analysis.resilience import (
+    ResilienceRow,
+    checkpoint_bytes,
+    format_mtbf_table,
+    mtbf_sweep,
+    optimal_checkpoint_interval,
+    resilience_overhead,
+)
 from repro.analysis.calibration import (
     FitResult,
     PaperAnchors,
@@ -56,4 +70,14 @@ __all__ = [
     "gustafson_crossover",
     "isoefficiency_grids",
     "parallel_efficiency",
+    "ChaosOutcome",
+    "ResilienceRow",
+    "checkpoint_bytes",
+    "format_mtbf_table",
+    "mtbf_sweep",
+    "optimal_checkpoint_interval",
+    "resilience_overhead",
+    "run_chaos_suite",
+    "suite_passed",
+    "survival_matrix",
 ]

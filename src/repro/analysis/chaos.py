@@ -1,0 +1,244 @@
+"""The chaos suite: seeded fault campaigns against the functional plane.
+
+``repro chaos --seed N`` runs the *real* distributed engine — the same
+compiled schedules, transport and SCF the correctness tests use — under
+a deterministic :class:`~repro.transport.faults.FaultPlan`, and prints a
+survival matrix: which fault class was injected, how many faults fired,
+how many attempts the supervisor needed, and whether the recovered
+result is bit-identical to the fault-free oracle.
+
+Every scenario is a pure function of the seed, so a CI failure replays
+locally with the same command line.  Expected outcomes:
+
+* transient faults (delay / drop / duplicate / corruption) — recovered,
+  bit-identical;
+* a killed rank under plain supervision — *crashed*, but with a typed,
+  step-attributed crash report (never a hang);
+* a killed rank mid-SCF with checkpointing — recovered via
+  checkpoint/restart, converging to the sequential energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import DistributedStencil
+from repro.grid import Decomposition, GridDescriptor, HaloSpec, gather, scatter
+from repro.stencil import apply_stencil_global, laplacian_coefficients
+from repro.transport import (
+    FaultPlan,
+    FaultyTransport,
+    InprocTransport,
+    RetryPolicy,
+    TransportError,
+    run_ranks_supervised,
+)
+
+
+@dataclass(frozen=True)
+class ChaosOutcome:
+    """One scenario's row in the survival matrix."""
+
+    scenario: str
+    injected: int  # fault events that actually fired
+    attempts: int
+    outcome: str  # "recovered" | "crashed" | "clean"
+    identical: bool  # bit-identical to the fault-free oracle
+    errors: tuple[str, ...]  # error types seen across attempts
+
+
+class _StencilScenario:
+    """A small distributed stencil application with a known oracle."""
+
+    def __init__(self, n_ranks: int, shape=(8, 8, 8), n_grids: int = 4):
+        self.n_ranks = n_ranks
+        gd = GridDescriptor(shape)
+        self.decomp = Decomposition(gd, n_ranks)
+        coeffs = laplacian_coefficients(2, gd.spacing)
+        self.engine = DistributedStencil(self.decomp, coeffs)
+        fields = {gid: gd.random(seed=gid) for gid in range(n_grids)}
+        self.blocks = {
+            gid: scatter(fields[gid], self.decomp, HaloSpec(2)) for gid in fields
+        }
+        self.oracle = {
+            gid: apply_stencil_global(fields[gid], coeffs) for gid in fields
+        }
+
+    def rank_fn(self, ep):
+        mine = {gid: self.blocks[gid][ep.rank] for gid in self.blocks}
+        return self.engine.apply(ep, mine)
+
+    def check(self, results) -> bool:
+        return all(
+            np.array_equal(
+                gather([results[r][gid] for r in range(self.n_ranks)]),
+                self.oracle[gid],
+            )
+            for gid in self.oracle
+        )
+
+    def run(
+        self, name: str, plan: FaultPlan, max_retries: int, timeout: float
+    ) -> ChaosOutcome:
+        def factory(attempt: int):
+            return FaultyTransport(
+                InprocTransport(self.n_ranks, default_timeout=timeout), plan
+            )
+
+        try:
+            res = run_ranks_supervised(
+                self.n_ranks,
+                self.rank_fn,
+                transport_factory=factory,
+                policy=RetryPolicy(max_retries=max_retries, backoff_base=0.0),
+            )
+        except TransportError as exc:
+            report = getattr(exc, "crash_report", None)
+            errors = tuple(
+                {type(exc).__name__}
+                | {r.error_type for r in ([report] if report else [])}
+            )
+            return ChaosOutcome(
+                scenario=name,
+                injected=len(plan.events),
+                attempts=(report.attempts if report else 1),
+                outcome="crashed",
+                identical=False,
+                errors=errors,
+            )
+        errors = tuple(sorted({r.error_type for r in res.reports}))
+        return ChaosOutcome(
+            scenario=name,
+            injected=len(plan.events),
+            attempts=res.attempts,
+            outcome="recovered" if res.reports else "clean",
+            identical=self.check(res.results),
+            errors=errors,
+        )
+
+
+def _scf_kill_resume(seed: int, timeout: float) -> ChaosOutcome:
+    """Rank kill mid-SCF; checkpoint/restart resumes and completes."""
+    from repro.dft import DistributedSCF, MemoryCheckpointStore
+
+    n = 6
+    gd = GridDescriptor((n, n, n), pbc=(False,) * 3, spacing=0.6)
+    x, y, z = gd.coordinates()
+    c = (n + 1) * 0.6 / 2
+    v = 0.5 * ((x - c) ** 2 + 1.44 * (y - c) ** 2 + 1.96 * (z - c) ** 2)
+    def make(store):
+        return DistributedSCF(
+            gd, v, n_bands=1, n_ranks=2, occupations=[2.0], mixing=0.6,
+            tolerance=0.0, max_iterations=4, band_iterations=4,
+            checkpoint_store=store, seed=seed,
+        )
+
+    oracle = make(None).run()  # fault-free twin, no shared store
+    scf = make(MemoryCheckpointStore())
+    # ~1400 transport ops per SCF iteration at this size: op 3500 lands
+    # mid-iteration 3, after checkpoints 1 and 2 committed
+    plan = FaultPlan(seed=seed, kill_at={1: 3500})
+    errors: list[str] = []
+
+    def factory(attempt: int):
+        return FaultyTransport(InprocTransport(2, default_timeout=timeout), plan)
+
+    try:
+        res = scf.run_with_recovery(
+            max_restarts=2,
+            transport_factory=factory,
+            on_restart=lambda k, exc: errors.append(type(exc).__name__),
+        )
+    except TransportError as exc:
+        return ChaosOutcome(
+            scenario="scf-kill-resume",
+            injected=len(plan.events),
+            attempts=1,
+            outcome="crashed",
+            identical=False,
+            errors=(type(exc).__name__,),
+        )
+    identical = bool(
+        np.isfinite(res.total_energy)
+        and abs(res.total_energy - oracle.total_energy) < 1e-6
+    )
+    return ChaosOutcome(
+        scenario="scf-kill-resume",
+        injected=len(plan.events),
+        attempts=res.restarts + 1,
+        outcome="recovered" if res.restarts else "clean",
+        identical=identical,
+        errors=tuple(sorted(set(errors))),
+    )
+
+
+def run_chaos_suite(
+    seed: int = 0,
+    n_ranks: int = 2,
+    timeout: float = 1.0,
+    scf: bool = True,
+) -> list[ChaosOutcome]:
+    """Run every chaos scenario for one seed; deterministic per seed."""
+    sc = _StencilScenario(n_ranks)
+    outcomes = []
+    # one targeted fault per kind, pinned to an early send of rank 0
+    for kind in ("delay", "duplicate", "drop", "corrupt"):
+        plan = FaultPlan(seed=seed, inject={(0, 1): kind}, delay=0.001)
+        outcomes.append(sc.run(f"one-{kind}", plan, max_retries=2, timeout=timeout))
+    # a probabilistic storm of transient faults.  The network stays lossy
+    # across retries (fresh sends draw fresh decisions), so an attempt
+    # only succeeds when its ~16-send window draws no drop/corrupt —
+    # the retry budget must cover several lossy windows.
+    storm = FaultPlan(
+        seed=seed, p_drop=0.04, p_corrupt=0.04, p_duplicate=0.06,
+        p_delay=0.06, delay=0.0005,
+    )
+    outcomes.append(sc.run("storm", storm, max_retries=12, timeout=timeout))
+    # a killed rank: permanent — must crash with attribution, not hang
+    kill = FaultPlan(seed=seed, kill_at={min(1, n_ranks - 1): 5})
+    outcomes.append(sc.run("rank-kill", kill, max_retries=2, timeout=timeout))
+    if scf:
+        outcomes.append(_scf_kill_resume(seed, timeout))
+    return outcomes
+
+
+def survival_matrix(outcomes: list[ChaosOutcome]) -> str:
+    """The chaos outcomes as an aligned text table."""
+    from repro.analysis.formatting import format_table
+
+    return format_table(
+        ["scenario", "injected", "attempts", "outcome", "bit-identical", "errors"],
+        [
+            [
+                o.scenario,
+                o.injected,
+                o.attempts,
+                o.outcome,
+                "yes" if o.identical else "no",
+                ",".join(o.errors) or "-",
+            ]
+            for o in outcomes
+        ],
+        title="Chaos survival matrix",
+    )
+
+
+def suite_passed(outcomes: list[ChaosOutcome]) -> bool:
+    """The CI gate: transients recover bit-identically, kills attribute.
+
+    * every scenario except the kill ones must end ``recovered`` or
+      ``clean`` with a bit-identical result;
+    * ``rank-kill`` must end ``crashed`` with a typed error (attribution
+      instead of a hang);
+    * ``scf-kill-resume`` (when present) must end ``recovered`` with the
+      oracle energy.
+    """
+    ok = True
+    for o in outcomes:
+        if o.scenario == "rank-kill":
+            ok &= o.outcome == "crashed" and bool(o.errors)
+        else:
+            ok &= o.outcome in ("recovered", "clean") and o.identical
+    return ok

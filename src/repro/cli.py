@@ -12,6 +12,8 @@ Usage::
     python -m repro wholeapp
     python -m repro validate          # quick model-vs-DES cross-check
     python -m repro schedule flat-optimized --cores 8 --grids 4 --batch-size 2
+    python -m repro chaos --seed 0    # fault-injection survival matrix
+    python -m repro mtbf              # Daly checkpoint-cadence sweep @16k cores
 
 Every command prints the same rows the corresponding benchmark asserts
 on; this is the interactive face of ``pytest benchmarks/``.
@@ -222,6 +224,35 @@ def _cmd_schedule(args: argparse.Namespace) -> str:
     return plan.describe(args.domain)
 
 
+def _cmd_chaos(args: argparse.Namespace) -> str:
+    """Run the seeded chaos suite and print the survival matrix."""
+    from repro.analysis.chaos import run_chaos_suite, suite_passed, survival_matrix
+
+    outcomes = run_chaos_suite(
+        seed=args.seed, n_ranks=args.ranks, scf=not args.no_scf
+    )
+    table = survival_matrix(outcomes)
+    ok = suite_passed(outcomes)
+    verdict = "chaos suite: PASS" if ok else "chaos suite: FAIL"
+    out = f"{table}\n{verdict} (seed {args.seed})"
+    if not ok:
+        raise SystemExit(out)
+    return out
+
+
+def _cmd_mtbf(args: argparse.Namespace) -> str:
+    """Daly checkpoint-cadence sweep at paper scale."""
+    from repro.analysis.resilience import format_mtbf_table, mtbf_sweep
+
+    job = FDJob(GridDescriptor(tuple(args.shape)), args.bands)
+    rows = mtbf_sweep(job, n_cores=args.cores)
+    note = (
+        f"\n(workload: {args.bands} bands of "
+        f"{args.shape[0]}^3 on {args.cores} cores)"
+    )
+    return format_mtbf_table(rows) + note
+
+
 def _cmd_report(args: argparse.Namespace) -> str:
     """Every experiment in one run — a regenerated EXPERIMENTS digest."""
     sections = [
@@ -279,6 +310,21 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar=("NX", "NY", "NZ"))
     ps.add_argument("--domain", type=int, default=0,
                     help="which rank's step list to print")
+    pc = sub.add_parser(
+        "chaos", help="seeded fault-injection suite + survival matrix"
+    )
+    pc.add_argument("--seed", type=int, default=0,
+                    help="fault-plan seed; identical seeds replay identically")
+    pc.add_argument("--ranks", type=int, default=2)
+    pc.add_argument("--no-scf", action="store_true",
+                    help="skip the (slower) SCF checkpoint-resume scenario")
+    pm = sub.add_parser(
+        "mtbf", help="Daly checkpoint-cadence sweep at paper scale"
+    )
+    pm.add_argument("--cores", type=int, default=16384)
+    pm.add_argument("--bands", type=int, default=512)
+    pm.add_argument("--shape", type=int, nargs=3, default=[128, 128, 128],
+                    metavar=("NX", "NY", "NZ"))
     return parser
 
 
@@ -295,6 +341,8 @@ _COMMANDS = {
     "report": _cmd_report,
     "calibrate": _cmd_calibrate,
     "schedule": _cmd_schedule,
+    "chaos": _cmd_chaos,
+    "mtbf": _cmd_mtbf,
 }
 
 

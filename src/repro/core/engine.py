@@ -48,6 +48,7 @@ from repro.core.schedule import (
     compile_schedule,
 )
 from repro.core.workspace import Workspace
+from repro.transport.errors import StepInfo, TransportError
 from repro.grid.array import LocalGrid
 from repro.grid.decompose import Decomposition
 from repro.grid.grid import GridDescriptor
@@ -297,42 +298,79 @@ class DistributedStencil:
         clock = time.perf_counter
         for st in wp.steps:
             t0 = clock() if on_step is not None else 0.0
-            if isinstance(st, _PostSend):
-                m = send_geom[(st.dim, st.step)]
-                sources = [grids[grid_ids[i]].data for i in st.grid_ids]
-                slab_shape = sources[0][m.send_slices].shape
-                buf = ws.borrow((len(sources),) + slab_shape, sources[0].dtype)
-                pack_slabs(sources, m.send_slices, buf)
-                ep.isend(m.dst_domain, buf, tag=st.tag, copy=False)
-                if not zero_copy:
-                    ws.release(buf)
-            elif isinstance(st, _PostRecv):
-                m = recv_geom[(st.dim, st.step)]
-                handle = ep.irecv(src=m.src_domain, tag=st.tag)
-                pending.setdefault(st.seq, []).append((handle, m, st.grid_ids))
-            elif isinstance(st, _WaitAll):
-                for handle, m, idxs in pending.pop(st.seq, ()):
-                    payload = handle.wait()
-                    unpack_slabs(
-                        payload,
-                        [grids[grid_ids[i]].data for i in idxs],
-                        m.recv_slices,
-                    )
-                    ws.release(payload)
-            elif isinstance(st, _ApplyLocalWraps):
-                apply_local_wraps(grids[grid_ids[st.grid_id]].data, wraps)
-            elif isinstance(st, _ComputeBoundary):
-                zero_boundary_ghosts(
-                    grids[grid_ids[st.grid_id]].data,
-                    self.decomp,
-                    ep.rank,
-                    self.halo.width,
+            try:
+                self._execute_step(
+                    ep, st, grids, grid_ids, out, send_geom, recv_geom,
+                    wraps, pending, zero_copy,
                 )
-            elif isinstance(st, _ComputeInterior):
-                gid = grid_ids[st.grid_id]
-                self._compute_fn(grids[gid].data, out[gid].interior)
-            # GridBarrier / JoinBarrier: timing-plane markers; the
-            # functional rank runs its workers sequentially, so there is
-            # nothing to synchronize here.
+            except TransportError as exc:
+                # Attribute the failure to the compiled step being
+                # interpreted: rank, worker, round, direction, grids.
+                exc.attach_step(_step_info(ep.rank, wp.index, st, grid_ids))
+                raise
             if on_step is not None:
                 on_step(st, wp.index, t0, clock())
+
+    def _execute_step(
+        self, ep, st, grids, grid_ids, out, send_geom, recv_geom,
+        wraps, pending, zero_copy,
+    ) -> None:
+        """Interpret a single compiled step (see ``_execute_worker``)."""
+        ws = self.workspace
+        if isinstance(st, _PostSend):
+            m = send_geom[(st.dim, st.step)]
+            sources = [grids[grid_ids[i]].data for i in st.grid_ids]
+            slab_shape = sources[0][m.send_slices].shape
+            buf = ws.borrow((len(sources),) + slab_shape, sources[0].dtype)
+            pack_slabs(sources, m.send_slices, buf)
+            ep.isend(m.dst_domain, buf, tag=st.tag, copy=False)
+            if not zero_copy:
+                ws.release(buf)
+        elif isinstance(st, _PostRecv):
+            m = recv_geom[(st.dim, st.step)]
+            handle = ep.irecv(src=m.src_domain, tag=st.tag)
+            pending.setdefault(st.seq, []).append((handle, m, st.grid_ids))
+        elif isinstance(st, _WaitAll):
+            for handle, m, idxs in pending.pop(st.seq, ()):
+                payload = handle.wait()
+                unpack_slabs(
+                    payload,
+                    [grids[grid_ids[i]].data for i in idxs],
+                    m.recv_slices,
+                )
+                ws.release(payload)
+        elif isinstance(st, _ApplyLocalWraps):
+            apply_local_wraps(grids[grid_ids[st.grid_id]].data, wraps)
+        elif isinstance(st, _ComputeBoundary):
+            zero_boundary_ghosts(
+                grids[grid_ids[st.grid_id]].data,
+                self.decomp,
+                ep.rank,
+                self.halo.width,
+            )
+        elif isinstance(st, _ComputeInterior):
+            gid = grid_ids[st.grid_id]
+            self._compute_fn(grids[gid].data, out[gid].interior)
+        # GridBarrier / JoinBarrier: timing-plane markers; the
+        # functional rank runs its workers sequentially, so there is
+        # nothing to synchronize here.
+
+
+def _step_info(rank: int, worker: int, st: object, grid_ids: list[int]) -> StepInfo:
+    """Schedule-IR coordinates of ``st`` for failure attribution."""
+    logical = getattr(st, "grid_ids", None)
+    if logical is None:
+        gid = getattr(st, "grid_id", None)
+        logical = () if gid is None else (gid,)
+    direction = getattr(st, "step", None)
+    return StepInfo(
+        rank=rank,
+        worker=worker,
+        step_kind=type(st).__name__,
+        seq=getattr(st, "seq", None),
+        dim=getattr(st, "dim", None),
+        direction=direction if direction in (+1, -1) else None,
+        peer=getattr(st, "dst", None) if isinstance(st, _PostSend)
+        else getattr(st, "src", None),
+        grid_ids=tuple(grid_ids[i] for i in logical if i < len(grid_ids)),
+    )

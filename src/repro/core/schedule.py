@@ -72,6 +72,20 @@ def message_tag(seq: int, dim: int, step: int) -> int:
     return seq * 8 + dim * 2 + (0 if step > 0 else 1)
 
 
+def decode_message_tag(tag: int) -> tuple[int, int, int]:
+    """Invert :func:`message_tag`: ``tag -> (seq, dim, step)``.
+
+    The transport mirrors this encoding in
+    :func:`repro.transport.errors.decode_halo_tag` (it cannot import this
+    module); the consistency tests pin the two against each other.
+    """
+    if tag < 0:
+        raise ValueError(f"halo tags are non-negative, got {tag}")
+    seq, rest = divmod(tag, 8)
+    dim, parity = divmod(rest, 2)
+    return seq, dim, (+1 if parity == 0 else -1)
+
+
 # -- step types ---------------------------------------------------------------
 @dataclass(frozen=True)
 class PostSend:

@@ -48,6 +48,7 @@ from repro.core.schedule import (
 from repro.des.core import Event
 from repro.des.trace import Tracer
 from repro.grid.decompose import Decomposition
+from repro.transport.faults import FaultPlan
 from repro.machine.machine import Machine
 from repro.machine.partition import NodeMode
 from repro.machine.spec import BGP_SPEC, MachineSpec
@@ -57,6 +58,12 @@ from repro.util.validation import check_positive_int
 Proc = Generator[Event, object, None]
 
 HALO_WIDTH = 2  # the paper's stencil radius
+
+#: tag offset for wire copies the receiver discards (corrupt originals,
+#: spurious duplicates): they occupy links and counters but match no
+#: posted receive.  Far above every real tag space (collectives end at
+#: ``1 << 28`` + rounds).
+_GHOST_TAG_OFFSET = 1 << 30
 
 
 @dataclass
@@ -73,6 +80,8 @@ class SimResult:
     #: activity trace (compute spans per core, transfers per link); only
     #: populated when ``simulate_fd(..., trace=True)``
     trace: Optional[Tracer] = None
+    #: faults the fault plan injected during the replay (0 without one)
+    fault_events: int = 0
 
 
 def _node_mode_for(approach: Approach, n_cores: int) -> tuple[NodeMode, int]:
@@ -154,6 +163,7 @@ class _FDSimulation:
         spec: MachineSpec,
         placement: str = "auto",
         trace: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         check_positive_int(n_cores, "n_cores")
         approach.validate_batch_size(batch_size)
@@ -163,6 +173,7 @@ class _FDSimulation:
         self.batch_size = batch_size
         self.ramp_up = ramp_up
         self.spec = spec
+        self.fault_plan = fault_plan
         mode, n_nodes = _node_mode_for(approach, n_cores)
         self.tracer = Tracer() if trace else None
         self.machine = Machine(n_nodes, mode, spec, tracer=self.tracer)
@@ -199,6 +210,47 @@ class _FDSimulation:
             n_workers=timing_plane_workers(approach, n_cores),
         )
 
+    # -- fault modeling --------------------------------------------------------
+    def _fault_clock(self, ctx: RankContext) -> Proc:
+        """Advance the kill clock; a killed rank pays the restart time.
+
+        The DES models the *recovery overhead*, not the crash itself: the
+        supervisor restarts the rank from its last checkpoint, so the
+        rank (and, through stalled messages, its neighbours) loses
+        ``restart_time`` simulated seconds — the cost the MTBF sweep in
+        :mod:`repro.analysis.resilience` integrates over a run.
+        """
+        fp = self.fault_plan
+        idx = fp.next_op(ctx.rank)
+        if fp.should_kill(ctx.rank, idx):
+            yield ctx.sim.timeout(fp.restart_time)
+
+    def _faulty_send(self, ctx: RankContext, dst: int, nbytes: float, tag: int) -> Proc:
+        """A PostSend under the fault plan.
+
+        * *delay* — the message leaves late.
+        * *drop* — the receiver times out after ``retransmit_timeout``
+          and the sender retransmits: one copy travels, late.
+        * *corrupt* — the corrupt copy travels (ghost tag: it reaches the
+          wire and the byte counters but matches no receive — the
+          receiver rejects its checksum), then the good copy follows
+          after the retransmit window.
+        * *duplicate* — a spurious extra copy travels alongside.
+        """
+        fp = self.fault_plan
+        yield from self._fault_clock(ctx)
+        kind = fp.take_fault(ctx.rank, fp.next_send(ctx.rank), "isend")
+        if kind == "delay":
+            yield ctx.sim.timeout(fp.delay)
+        elif kind == "drop":
+            yield ctx.sim.timeout(fp.retransmit_timeout)
+        elif kind == "corrupt":
+            yield from ctx.isend(dst, nbytes, tag + _GHOST_TAG_OFFSET)
+            yield ctx.sim.timeout(fp.retransmit_timeout)
+        elif kind == "duplicate":
+            yield from ctx.isend(dst, nbytes, tag + _GHOST_TAG_OFFSET)
+        yield from ctx.isend(dst, nbytes, tag)
+
     # -- step replay ----------------------------------------------------------
     def replay_worker(self, ctx: RankContext, wp: WorkerPlan) -> Proc:
         """Replay one worker's compiled steps as timed simulated-MPI calls.
@@ -230,18 +282,23 @@ class _FDSimulation:
                         (len(r.sends) + len(r.recvs) + 1) * t_call
                     )
             if isinstance(st, PostSend):
-                yield from ctx.isend(
-                    self.rank_of_domain[st.dst] + st.slot,
-                    st.nbytes,
-                    message_tag(st.seq, st.dim, st.step),
-                )
+                dst = self.rank_of_domain[st.dst] + st.slot
+                tag = message_tag(st.seq, st.dim, st.step)
+                if self.fault_plan is not None:
+                    yield from self._faulty_send(ctx, dst, st.nbytes, tag)
+                else:
+                    yield from ctx.isend(dst, st.nbytes, tag)
             elif isinstance(st, PostRecv):
+                if self.fault_plan is not None:
+                    yield from self._fault_clock(ctx)
                 req = yield from ctx.irecv(
                     self.rank_of_domain[st.src] + st.slot,
                     message_tag(st.seq, st.dim, st.step),
                 )
                 pending.setdefault(st.seq, []).append(req)
             elif isinstance(st, WaitAll):
+                if self.fault_plan is not None:
+                    yield from self._fault_clock(ctx)
                 reqs = pending.pop(st.seq, [])
                 if reqs:
                     yield from ctx.waitall(reqs)
@@ -322,6 +379,9 @@ class _FDSimulation:
             comm_bytes_per_node=inter_bytes / self.machine.n_nodes,
             messages=self.comm.messages_sent,
             trace=self.tracer,
+            fault_events=(
+                len(self.fault_plan.events) if self.fault_plan is not None else 0
+            ),
         )
 
 
@@ -334,13 +394,21 @@ def simulate_fd(
     spec: MachineSpec = BGP_SPEC,
     placement: str = "auto",
     trace: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> SimResult:
     """Simulate one FD invocation at message level on the DES machine.
 
     Exact but event-heavy: intended for <= a few hundred cores and a few
     hundred grids.  For paper-scale configurations use
     :class:`~repro.core.perfmodel.PerformanceModel`.
+
+    ``fault_plan`` replays the same :class:`~repro.transport.faults.FaultPlan`
+    the functional plane injects, as *timing* perturbations: delays,
+    retransmit windows, spurious wire copies, and restart penalties for
+    killed ranks.  The plan's counters advance during the replay — pass
+    ``plan.replica()`` to keep the original pristine.
     """
     return _FDSimulation(
-        job, approach, n_cores, batch_size, ramp_up, spec, placement, trace
+        job, approach, n_cores, batch_size, ramp_up, spec, placement, trace,
+        fault_plan,
     ).run()

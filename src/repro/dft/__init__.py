@@ -19,8 +19,17 @@ examples and integration tests:
 * :mod:`repro.dft.density` — electron density from occupied states.
 * :mod:`repro.dft.scf` — a small self-consistent field loop (Hartree
   interaction via the Poisson solver).
+* :mod:`repro.dft.checkpoint` — atomic N-N checkpoint/restart of the
+  distributed SCF, including shrink-to-fewer-ranks resume
+  (docs/ROBUSTNESS.md).
 """
 
+from repro.dft.checkpoint import (
+    FileCheckpointStore,
+    MemoryCheckpointStore,
+    SCFCheckpoint,
+    redistribute_blocks,
+)
 from repro.dft.operators import Laplacian, Kinetic
 from repro.dft.poisson import PoissonSolver, PoissonResult
 from repro.dft.hamiltonian import Hamiltonian
@@ -54,6 +63,10 @@ __all__ = [
     "DistributedPoissonResult",
     "DistributedSCF",
     "DistributedSCFResult",
+    "FileCheckpointStore",
+    "MemoryCheckpointStore",
+    "SCFCheckpoint",
     "lda_energy",
     "lda_potential",
+    "redistribute_blocks",
 ]

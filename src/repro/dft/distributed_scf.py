@@ -28,12 +28,14 @@ import numpy as np
 
 from repro.core.approaches import Approach, FLAT_OPTIMIZED
 from repro.core.engine import DistributedStencil
+from repro.dft.checkpoint import SCFCheckpoint, redistribute_blocks
 from repro.dft.distributed import DistributedPoissonSolver
 from repro.grid.array import LocalGrid, gather, scatter
 from repro.grid.decompose import Decomposition
 from repro.grid.grid import GridDescriptor
 from repro.grid.halo import HaloSpec
 from repro.stencil.coefficients import laplacian_coefficients
+from repro.transport.errors import TransportError
 from repro.transport.inproc import RankEndpoint, run_ranks
 
 
@@ -47,6 +49,8 @@ class DistributedSCFResult:
     total_energy: float
     iterations: int
     converged: bool
+    restarts: int = 0  # recovery restarts consumed (run_with_recovery)
+    final_ranks: int = 0  # rank count of the attempt that finished
 
 
 class DistributedSCF:
@@ -66,6 +70,8 @@ class DistributedSCF:
         approach: Approach = FLAT_OPTIMIZED,
         xc: str = "none",
         seed: int = 0,
+        checkpoint_store=None,
+        checkpoint_every: int = 1,
     ):
         grid.check_array(external_potential, "external_potential")
         if n_bands < 1:
@@ -86,6 +92,10 @@ class DistributedSCF:
         self.band_iterations = band_iterations
         self.xc = xc
         self.seed = seed
+        if checkpoint_every < 1:
+            raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        self.checkpoint_store = checkpoint_store
+        self.checkpoint_every = checkpoint_every
 
         self.decomp = Decomposition(grid, n_ranks)
         self.halo = HaloSpec(2)
@@ -177,7 +187,7 @@ class DistributedSCF:
             states[i].interior[...] = acc
 
     # -- the rank program --------------------------------------------------------
-    def _rank_run(self, ep: RankEndpoint, v_ext_blocks, initial_blocks):
+    def _rank_run(self, ep: RankEndpoint, v_ext_blocks, initial_blocks, restore=None):
         rank = ep.rank
         v_ext = v_ext_blocks[rank].interior.copy()
         states = {b: initial_blocks[b][rank] for b in range(self.n_bands)}
@@ -187,9 +197,19 @@ class DistributedSCF:
         v_xc = np.zeros_like(v_ext)
         rho_old = None
         energies = np.zeros(self.n_bands)
+        start_it = 0
+        if restore is not None:
+            # resume mid-SCF: the mixing history (v_h/v_xc) and the
+            # convergence reference (rho_old) come from the snapshot
+            fields = restore.blocks[rank]
+            v_h = fields["v_h"].copy()
+            v_xc = fields["v_xc"].copy()
+            rho_old = fields["rho_old"].copy()
+            energies = np.array(restore.energies, copy=True)
+            start_it = restore.iteration
         converged = False
-        it = 0
-        for it in range(1, self.max_iterations + 1):
+        it = start_it
+        for it in range(start_it + 1, self.max_iterations + 1):
             v_local = v_ext + v_h + v_xc
             for _ in range(self.band_iterations):
                 h_states = self._apply_h(ep, states, v_local)
@@ -259,6 +279,28 @@ class DistributedSCF:
 
                 v_xc = (1 - self.mixing) * v_xc + self.mixing * lda_potential(rho)
 
+            if (
+                self.checkpoint_store is not None
+                and it % self.checkpoint_every == 0
+            ):
+                # N-N checkpoint: every rank deposits its own interior
+                # blocks; the store commits once all ranks arrive
+                self.checkpoint_store.deposit(
+                    iteration=it,
+                    rank=rank,
+                    n_domains=self.decomp.n_domains,
+                    shape=self.grid.shape,
+                    energies=energies,
+                    fields={
+                        "states": np.stack(
+                            [states[b].interior for b in range(self.n_bands)]
+                        ),
+                        "rho_old": rho_old,
+                        "v_h": v_h,
+                        "v_xc": v_xc,
+                    },
+                )
+
         # final Rayleigh-Ritz: report clean eigenvalues of the last
         # potential (the in-loop energies lag the post-line-step states)
         v_local = v_ext + v_h + v_xc
@@ -299,18 +341,36 @@ class DistributedSCF:
         return blocks
 
     # -- public API --------------------------------------------------------------
-    def run(self) -> DistributedSCFResult:
-        """Scatter, iterate on rank threads, gather."""
-        rng = np.random.default_rng(self.seed)
-        initial = [
-            rng.standard_normal(self.grid.shape) for _ in range(self.n_bands)
-        ]
+    def run(
+        self, transport=None, resume_from: SCFCheckpoint | None = None
+    ) -> DistributedSCFResult:
+        """Scatter, iterate on rank threads, gather.
+
+        ``transport`` overrides the default in-process transport (e.g. a
+        :class:`~repro.transport.faults.FaultyTransport` for chaos runs).
+        ``resume_from`` restarts mid-SCF from a committed checkpoint —
+        written by any rank count: a snapshot from more ranks is
+        redistributed onto this instance's (recompiled) layout.
+        """
         v_ext_blocks = scatter(self.v_ext, self.decomp, self.halo)
-        initial_blocks = [
-            scatter(a, self.decomp, self.halo) for a in initial
-        ]
+        if resume_from is None:
+            rng = np.random.default_rng(self.seed)
+            initial = [
+                rng.standard_normal(self.grid.shape) for _ in range(self.n_bands)
+            ]
+            initial_blocks = [
+                scatter(a, self.decomp, self.halo) for a in initial
+            ]
+            restore = None
+        else:
+            initial_blocks, restore = self._resume_state(resume_from)
         results = run_ranks(
-            self.decomp.n_domains, self._rank_run, v_ext_blocks, initial_blocks
+            self.decomp.n_domains,
+            self._rank_run,
+            v_ext_blocks,
+            initial_blocks,
+            restore,
+            transport=transport,
         )
         states_blocks, energies, _, total, it, converged = results[0]
         gathered_states = np.stack([
@@ -327,7 +387,120 @@ class DistributedSCF:
             total_energy=total,
             iterations=it,
             converged=converged,
+            final_ranks=self.decomp.n_domains,
         )
+
+    def _resume_state(self, ckpt: SCFCheckpoint):
+        """Initial blocks + per-rank restore snapshot for a resume.
+
+        Shrink path: a checkpoint committed by more ranks is re-sliced
+        onto this layout through the transfer plan before any rank
+        thread starts.
+        """
+        if tuple(ckpt.shape) != tuple(self.grid.shape):
+            raise ValueError(
+                f"checkpoint grid {tuple(ckpt.shape)} does not match "
+                f"SCF grid {tuple(self.grid.shape)}"
+            )
+        n_bands = ckpt.blocks[0]["states"].shape[0]
+        if n_bands != self.n_bands:
+            raise ValueError(
+                f"checkpoint has {n_bands} bands, SCF wants {self.n_bands}"
+            )
+        if ckpt.n_domains != self.decomp.n_domains:
+            old = Decomposition(self.grid, ckpt.n_domains)
+            fields = {
+                name: redistribute_blocks(
+                    ckpt.field_blocks(name), old, self.decomp
+                )
+                for name in ("states", "rho_old", "v_h", "v_xc")
+            }
+            ckpt = SCFCheckpoint(
+                iteration=ckpt.iteration,
+                n_domains=self.decomp.n_domains,
+                shape=ckpt.shape,
+                energies=ckpt.energies,
+                blocks={
+                    r: {name: fields[name][r] for name in fields}
+                    for r in range(self.decomp.n_domains)
+                },
+            )
+        initial_blocks = []
+        for b in range(self.n_bands):
+            band = []
+            for r in range(self.decomp.n_domains):
+                lg = LocalGrid(self.decomp, r, self.halo)
+                lg.interior[...] = ckpt.blocks[r]["states"][b]
+                band.append(lg)
+            initial_blocks.append(band)
+        return initial_blocks, ckpt
+
+    def with_ranks(self, n_ranks: int) -> "DistributedSCF":
+        """A copy of this SCF over ``n_ranks`` domains.
+
+        Recompiles the kinetic schedule plan and the Poisson solver for
+        the new layout; shares the checkpoint store, so a recovery can
+        shrink onto surviving ranks and keep checkpointing.
+        """
+        return DistributedSCF(
+            self.grid,
+            self.v_ext,
+            self.n_bands,
+            n_ranks,
+            occupations=list(self.occ),
+            mixing=self.mixing,
+            tolerance=self.tolerance,
+            max_iterations=self.max_iterations,
+            band_iterations=self.band_iterations,
+            approach=self.approach,
+            xc=self.xc,
+            seed=self.seed,
+            checkpoint_store=self.checkpoint_store,
+            checkpoint_every=self.checkpoint_every,
+        )
+
+    def run_with_recovery(
+        self,
+        max_restarts: int = 2,
+        transport_factory=None,
+        shrink_to: int | None = None,
+        on_restart=None,
+    ) -> DistributedSCFResult:
+        """Run to convergence, restarting from checkpoints on rank loss.
+
+        Each attempt gets a transport from ``transport_factory(attempt)``
+        (default: a fresh in-process transport).  When an attempt dies
+        with a :class:`~repro.transport.errors.TransportError`, the run
+        resumes from the latest *committed* checkpoint — with
+        ``shrink_to`` ranks if given (the node-loss scenario: the
+        schedule is recompiled and all state redistributed) — up to
+        ``max_restarts`` times before the error propagates.
+        """
+        if self.checkpoint_store is None:
+            raise ValueError("run_with_recovery needs a checkpoint_store")
+        scf = self
+        restarts = 0
+        while True:
+            transport = (
+                transport_factory(restarts) if transport_factory is not None else None
+            )
+            resume = scf.checkpoint_store.latest()
+            try:
+                result = scf.run(transport=transport, resume_from=resume)
+                result.restarts = restarts
+                return result
+            except TransportError as exc:
+                restarts += 1
+                if restarts > max_restarts:
+                    raise
+                scf.checkpoint_store.discard_pending()
+                if on_restart is not None:
+                    on_restart(restarts, exc)
+                if (
+                    shrink_to is not None
+                    and scf.decomp.n_domains != shrink_to
+                ):
+                    scf = scf.with_ranks(shrink_to)
 
     def _density_block(self, rho_interior: np.ndarray, rank: int) -> LocalGrid:
         lg = LocalGrid(self.decomp, rank, self.halo)

@@ -12,18 +12,69 @@ mpi4py-flavoured non-blocking API: ``isend``/``irecv``/``waitall``/
 ``barrier`` and (source, tag) matching.  Message payloads are copied at
 send time — eager buffered semantics — which keeps arbitrary schedules
 deadlock-free and the engine's correctness independent of timing.
+
+The robustness layer (docs/ROBUSTNESS.md) lives alongside:
+
+* :mod:`repro.transport.errors` — the typed error taxonomy
+  (``PeerDeadError`` / ``CorruptPayloadError`` / ``HaloTimeoutError`` /
+  ``RankKilledError``) with schedule-step attribution,
+* :mod:`repro.transport.faults` — seeded deterministic fault injection
+  (:class:`FaultPlan` / :class:`FaultyTransport`) with checksummed
+  payload framing,
+* :mod:`repro.transport.supervisor` — bounded-retry supervision with
+  crash reports.
 """
 
+from repro.transport.errors import (
+    CorruptPayloadError,
+    HaloTimeoutError,
+    PeerDeadError,
+    RankKilledError,
+    StepInfo,
+    TransportError,
+    decode_halo_tag,
+    describe_tag,
+    is_transient,
+)
+from repro.transport.faults import (
+    FaultEvent,
+    FaultPlan,
+    FaultyEndpoint,
+    FaultyTransport,
+)
 from repro.transport.inproc import (
+    AttributableBarrier,
     InprocTransport,
     RankEndpoint,
-    TransportError,
     run_ranks,
+)
+from repro.transport.supervisor import (
+    CrashReport,
+    RetryPolicy,
+    SupervisedResult,
+    run_ranks_supervised,
 )
 
 __all__ = [
+    "AttributableBarrier",
+    "CorruptPayloadError",
+    "CrashReport",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultyEndpoint",
+    "FaultyTransport",
+    "HaloTimeoutError",
     "InprocTransport",
+    "PeerDeadError",
     "RankEndpoint",
+    "RankKilledError",
+    "RetryPolicy",
+    "StepInfo",
+    "SupervisedResult",
     "TransportError",
+    "decode_halo_tag",
+    "describe_tag",
+    "is_transient",
     "run_ranks",
+    "run_ranks_supervised",
 ]

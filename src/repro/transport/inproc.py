@@ -24,6 +24,12 @@ from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.transport.errors import (
+    HaloTimeoutError,
+    PeerDeadError,
+    TransportError,
+    describe_tag,
+)
 from repro.util.validation import check_positive_int
 
 #: wildcard markers, mirroring repro.smpi.datatypes
@@ -31,10 +37,6 @@ ANY_SOURCE = -1
 ANY_TAG = -1
 
 _DEFAULT_TIMEOUT = 60.0  # a stuck functional test fails loudly, not forever
-
-
-class TransportError(RuntimeError):
-    """Raised on transport misuse or timeout (likely schedule bug)."""
 
 
 @dataclass
@@ -88,6 +90,66 @@ class TransportStats:
     bytes: int = 0
 
 
+class AttributableBarrier:
+    """A barrier that knows *who* arrived when it fails.
+
+    ``threading.Barrier`` reports only "broken"; at any useful rank count
+    the first question is which rank is missing.  This barrier tracks the
+    arrival set per generation, so a timeout or abort names the arrived
+    and missing ranks — the attribution the failure-injection suite
+    asserts on.
+    """
+
+    def __init__(self, size: int):
+        self.size = size
+        self._cond = threading.Condition()
+        self._arrived: set[int] = set()
+        self._generation = 0
+        self._broken = False
+        self._dead: list[int] = []
+
+    def _failure_message(self, rank: int) -> str:
+        arrived = sorted(self._arrived)
+        missing = sorted(set(range(self.size)) - self._arrived)
+        msg = (
+            f"rank {rank}: barrier failed — arrived ranks {arrived}, "
+            f"missing ranks {missing}"
+        )
+        if self._dead:
+            msg += f" (known dead: {sorted(self._dead)})"
+        return msg
+
+    def wait(self, rank: int, timeout: float) -> None:
+        with self._cond:
+            if self._broken:
+                raise PeerDeadError(self._failure_message(rank))
+            gen = self._generation
+            self._arrived.add(rank)
+            if len(self._arrived) == self.size:
+                self._generation += 1
+                self._arrived = set()
+                self._cond.notify_all()
+                return
+            ok = self._cond.wait_for(
+                lambda: self._generation != gen or self._broken, timeout=timeout
+            )
+            if self._broken:
+                raise PeerDeadError(self._failure_message(rank))
+            if not ok:
+                message = self._failure_message(rank) + f" after {timeout}s"
+                self._broken = True
+                self._cond.notify_all()
+                raise HaloTimeoutError(message)
+
+    def abort(self, dead_rank: Optional[int] = None) -> None:
+        """Break the barrier (a rank died); wakes every waiter."""
+        with self._cond:
+            if dead_rank is not None:
+                self._dead.append(dead_rank)
+            self._broken = True
+            self._cond.notify_all()
+
+
 class InprocTransport:
     """A set of ``size`` rank endpoints sharing mailboxes in one process.
 
@@ -105,12 +167,16 @@ class InprocTransport:
         self._boxes: list[list[_Mail]] = [[] for _ in range(size)]
         self._conds = [threading.Condition() for _ in range(size)]
         self.stats = [TransportStats() for _ in range(size)]
-        self._barrier = threading.Barrier(size)
+        self._barrier = AttributableBarrier(size)
 
     def endpoint(self, rank: int) -> "RankEndpoint":
         if not 0 <= rank < self.size:
             raise ValueError(f"rank {rank} outside 0..{self.size - 1}")
         return RankEndpoint(self, rank)
+
+    def abort(self, dead_rank: Optional[int] = None) -> None:
+        """Unblock barrier waiters after a rank death (see ``run_ranks``)."""
+        self._barrier.abort(dead_rank)
 
 
 class RankEndpoint:
@@ -202,9 +268,10 @@ class RankEndpoint:
             if idx is None:
                 ok = cond.wait_for(lambda: find() is not None, timeout=deadline)
                 if not ok:
-                    raise TransportError(
+                    raise HaloTimeoutError(
                         f"rank {self.rank}: recv(src={src}, tag={tag}) timed out "
-                        f"after {timeout}s — schedule deadlock?"
+                        f"after {timeout}s — message is {describe_tag(tag)}; "
+                        f"lost message, dead peer, or schedule deadlock?"
                     )
                 idx = find()
             assert idx is not None
@@ -216,14 +283,13 @@ class RankEndpoint:
         return [h.wait() for h in handles]
 
     def barrier(self, timeout: Optional[float] = None) -> None:
-        """Block until all ranks arrive."""
+        """Block until all ranks arrive.
+
+        On failure the error names the arrived and the missing ranks
+        (an :class:`AttributableBarrier` underneath).
+        """
         timeout = self.transport.default_timeout if timeout is None else timeout
-        try:
-            self.transport._barrier.wait(timeout=timeout)
-        except threading.BrokenBarrierError as exc:
-            raise TransportError(
-                f"rank {self.rank}: barrier broken (peer died or timeout)"
-            ) from exc
+        self.transport._barrier.wait(self.rank, timeout=timeout)
 
     # -- collectives ------------------------------------------------------------
     _COLL_TAG_BASE = 1 << 28  # tag space reserved for collective rounds
@@ -257,12 +323,29 @@ def run_ranks(
     fn: Callable[..., Any],
     *args: Any,
     transport: Optional[InprocTransport] = None,
+    supervisor: "Any" = None,
 ) -> list[Any]:
     """Run ``fn(endpoint, *args)`` on ``size`` rank threads; join and return.
 
     Exceptions in any rank are re-raised in the caller (after all threads
-    have been joined), with the failing rank identified.
+    have been joined), with the failing rank identified.  A
+    :class:`~repro.transport.errors.TransportError` subclass is re-raised
+    as the *same type* (with ``failed_rank`` and any attached schedule
+    step preserved), so callers can dispatch on the taxonomy.
+
+    ``supervisor`` switches to supervised execution: pass a
+    :class:`repro.transport.supervisor.RetryPolicy` (the whole invocation
+    is retried with exponential backoff on transient failures, and
+    permanent ones produce a crash report) — see
+    :func:`repro.transport.supervisor.run_ranks_supervised`, to which
+    this delegates.
     """
+    if supervisor is not None:
+        from repro.transport.supervisor import run_ranks_supervised
+
+        return run_ranks_supervised(
+            size, fn, *args, transport=transport, policy=supervisor
+        ).results
     tr = transport if transport is not None else InprocTransport(size)
     if tr.size != size:
         raise ValueError(f"transport size {tr.size} != requested size {size}")
@@ -275,7 +358,7 @@ def run_ranks(
         except BaseException as exc:  # noqa: BLE001 - reported to caller
             errors.append((rank, exc))
             # Unblock peers stuck in the barrier so the join terminates.
-            tr._barrier.abort()
+            tr.abort(dead_rank=rank)
 
     threads = [
         threading.Thread(target=runner, args=(rank,), name=f"rank{rank}")
@@ -286,6 +369,17 @@ def run_ranks(
     for t in threads:
         t.join()
     if errors:
-        rank, exc = errors[0]
-        raise TransportError(f"rank {rank} failed: {exc!r}") from exc
+        # The first appended error is the root cause: peers only fail
+        # with PeerDeadError *after* the abort it triggered.
+        primary = [e for e in errors if not isinstance(e[1], PeerDeadError)]
+        rank, exc = (primary or errors)[0]
+        # Preserve the taxonomy: a typed transport failure surfaces as the
+        # same type, step attribution and transience flags intact.
+        cls = type(exc) if isinstance(exc, TransportError) else TransportError
+        wrapped = cls(f"rank {rank} failed: {exc!r}")
+        if isinstance(exc, TransportError):
+            wrapped.step_info = exc.step_info
+        wrapped.failed_rank = rank
+        wrapped.peer_errors = tuple(errors)
+        raise wrapped from exc
     return results

@@ -29,6 +29,8 @@ from typing import Any, Optional, Sequence
 
 import numpy as np
 
+from repro.transport.inproc import TransportStats
+
 #: wildcard markers, mirroring repro.transport.inproc
 ANY_SOURCE = -1
 ANY_TAG = -1
@@ -36,6 +38,36 @@ ANY_TAG = -1
 
 class MpiUnavailableError(RuntimeError):
     """Raised when mpi4py is not installed/importable."""
+
+
+def validate_peer(rank: int, size: int, what: str = "peer", wildcard: bool = False) -> int:
+    """Validate a peer rank before it reaches the MPI library.
+
+    mpi4py surfaces an out-of-range rank as an opaque ``MPI_ERR_RANK``
+    from deep inside the library; checking here turns the same bug into
+    an immediate :class:`ValueError` naming the offending value — the
+    error path the conformance tests exercise without an MPI runtime.
+    """
+    if isinstance(rank, bool) or not isinstance(rank, (int, np.integer)):
+        raise TypeError(f"{what} rank must be an integer, got {rank!r}")
+    if wildcard and rank == ANY_SOURCE:
+        return ANY_SOURCE
+    if not 0 <= rank < size:
+        raise ValueError(
+            f"{what} rank {rank} out of range for communicator of size {size}"
+        )
+    return int(rank)
+
+
+def validate_tag(tag: int, wildcard: bool = False) -> int:
+    """Validate a message tag (non-negative, or ``ANY_TAG`` on receives)."""
+    if isinstance(tag, bool) or not isinstance(tag, (int, np.integer)):
+        raise TypeError(f"tag must be an integer, got {tag!r}")
+    if wildcard and tag == ANY_TAG:
+        return ANY_TAG
+    if tag < 0:
+        raise ValueError(f"tag must be non-negative, got {tag}")
+    return int(tag)
 
 
 def mpi_available() -> bool:
@@ -113,6 +145,9 @@ class MpiEndpoint:
         self._MPI = MPI
         self.comm = comm if comm is not None else MPI.COMM_WORLD
         self.rank = self.comm.Get_rank()
+        #: local message accounting, same shape as the inproc transport's
+        #: per-rank stats — lets instrumentation code run unchanged.
+        self.stats = TransportStats()
 
     @property
     def size(self) -> int:
@@ -122,18 +157,29 @@ class MpiEndpoint:
     def isend(
         self, dst: int, payload: np.ndarray, tag: int = 0, copy: bool = True
     ) -> MpiSendHandle:
+        dst = validate_peer(dst, self.size, "destination")
+        tag = validate_tag(tag)
         # ``copy`` mirrors the inproc endpoint's interface.  mpi4py's isend
         # pickles the payload (its own snapshot) either way, so the flag
         # only changes whether a contiguous staging copy may be skipped.
         data = payload if not copy else np.ascontiguousarray(payload)
         req = self.comm.isend(data, dest=dst, tag=tag)
+        self.stats.messages += 1
+        self.stats.bytes += data.nbytes
         return MpiSendHandle(req, data.nbytes)
 
     def send(self, dst: int, payload: np.ndarray, tag: int = 0) -> None:
-        self.comm.send(np.ascontiguousarray(payload), dest=dst, tag=tag)
+        dst = validate_peer(dst, self.size, "destination")
+        tag = validate_tag(tag)
+        data = np.ascontiguousarray(payload)
+        self.comm.send(data, dest=dst, tag=tag)
+        self.stats.messages += 1
+        self.stats.bytes += data.nbytes
 
     def irecv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> MpiRecvHandle:
         MPI = self._MPI
+        src = validate_peer(src, self.size, "source", wildcard=True)
+        tag = validate_tag(tag, wildcard=True)
         mpi_src = MPI.ANY_SOURCE if src == ANY_SOURCE else src
         mpi_tag = MPI.ANY_TAG if tag == ANY_TAG else tag
         return MpiRecvHandle(self.comm.irecv(source=mpi_src, tag=mpi_tag))
@@ -143,6 +189,8 @@ class MpiEndpoint:
         timeout: Optional[float] = None,
     ) -> np.ndarray:
         MPI = self._MPI
+        src = validate_peer(src, self.size, "source", wildcard=True)
+        tag = validate_tag(tag, wildcard=True)
         mpi_src = MPI.ANY_SOURCE if src == ANY_SOURCE else src
         mpi_tag = MPI.ANY_TAG if tag == ANY_TAG else tag
         return self.comm.recv(source=mpi_src, tag=mpi_tag)

@@ -1,0 +1,39 @@
+"""Suite-wide pytest configuration: a global hang gate.
+
+The robustness layer's contract is "typed errors, never hangs"; this
+gate is the backstop that makes a violation fail CI instead of stalling
+it.  ``pytest-timeout`` is not a dependency of this repo, so the gate is
+built on :func:`faulthandler.dump_traceback_later`: if any single test
+exceeds the limit, every thread's traceback is dumped to stderr and the
+interpreter exits hard — the dump names the blocked receive or barrier.
+
+Configure with ``REPRO_TEST_TIMEOUT`` (seconds; ``0`` disables).  The
+default is generous — it exists to catch *hangs*, not slow tests.
+"""
+
+import faulthandler
+import os
+
+import pytest
+
+_DEFAULT_TIMEOUT = 300.0
+
+
+def _timeout() -> float:
+    raw = os.environ.get("REPRO_TEST_TIMEOUT", "")
+    try:
+        return float(raw) if raw else _DEFAULT_TIMEOUT
+    except ValueError:
+        return _DEFAULT_TIMEOUT
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_protocol(item, nextitem):
+    limit = _timeout()
+    if limit > 0:
+        faulthandler.dump_traceback_later(limit, exit=True)
+    try:
+        return (yield)
+    finally:
+        if limit > 0:
+            faulthandler.cancel_dump_traceback_later()

@@ -23,6 +23,16 @@ class TestParser:
         args = build_parser().parse_args(["fig5"])
         assert args.batch_size == 8
 
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.seed == 0 and args.ranks == 2 and not args.no_scf
+
+    def test_mtbf_defaults(self):
+        args = build_parser().parse_args(["mtbf"])
+        assert args.cores == 16384
+        assert args.bands == 512
+        assert tuple(args.shape) == (128, 128, 128)
+
     def test_wholeapp_bands_option(self):
         args = build_parser().parse_args(["wholeapp", "--bands", "128"])
         assert args.bands == 128
@@ -102,3 +112,15 @@ class TestCommands:
     def test_schedule_rejects_unknown_approach(self, capsys):
         with pytest.raises(ValueError, match="unknown approach"):
             main(["schedule", "no-such-approach"])
+
+    def test_chaos(self, capsys):
+        out = run(capsys, "chaos", "--no-scf")
+        assert "Chaos survival matrix" in out
+        assert "rank-kill" in out
+        assert "chaos suite: PASS (seed 0)" in out
+
+    def test_mtbf(self, capsys):
+        out = run(capsys, "mtbf", "--cores", "4096", "--bands", "32",
+                  "--shape", "64", "64", "64")
+        assert "Daly checkpoint cadence" in out
+        assert "32 bands of 64^3 on 4096 cores" in out

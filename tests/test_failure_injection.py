@@ -101,3 +101,95 @@ class TestTimeoutConfiguration:
         ep = tr.endpoint(0)
         with pytest.raises(TransportError, match=r"rank 0: recv\(src=0, tag=42\)"):
             ep.recv(src=0, tag=42)
+
+
+class TestFailureAttribution:
+    """Failures must *name things*: ranks, messages, schedule steps."""
+
+    def test_barrier_failure_names_arrived_and_missing_ranks(self):
+        tr = InprocTransport(3, default_timeout=0.2)
+
+        def rank_fn(ep):
+            if ep.rank == 2:
+                return  # never arrives
+            ep.barrier()
+
+        with pytest.raises(
+            TransportError,
+            match=r"barrier failed — arrived ranks \[0, 1\], missing ranks \[2\]",
+        ):
+            run_ranks(3, rank_fn, transport=tr)
+
+    def test_recv_timeout_decodes_halo_tag_meaning(self):
+        from repro.core.schedule import message_tag
+
+        tr = InprocTransport(1, default_timeout=0.05)
+        ep = tr.endpoint(0)
+        tag = message_tag(seq=5, dim=1, step=-1)
+        with pytest.raises(
+            TransportError, match=r"message is halo exchange seq 5, -y direction"
+        ):
+            ep.recv(src=0, tag=tag)
+
+    def test_recv_timeout_names_collective_round(self):
+        from repro.transport.errors import COLL_TAG_BASE
+
+        tr = InprocTransport(1, default_timeout=0.05)
+        with pytest.raises(TransportError, match="collective round 7"):
+            tr.endpoint(0).recv(src=0, tag=COLL_TAG_BASE + 7)
+
+
+class TestSeededReplay:
+    """Same seed ⇒ identical fault sequence and identical crash report."""
+
+    def _run_once(self, seed):
+        from repro.transport import (
+            FaultPlan,
+            FaultyTransport,
+            RetryPolicy,
+            run_ranks_supervised,
+        )
+
+        gd, engine, blocks = make_engine()
+        # ~16 transport ops per rank per attempt; op 10 is mid-schedule
+        plan = FaultPlan(
+            seed=seed, p_drop=0.03, p_corrupt=0.03, p_duplicate=0.05,
+            p_delay=0.05, delay=0.0005, kill_at={1: 10},
+        )
+        reports = []
+
+        def rank_fn(ep):
+            mine = {gid: blocks[gid][ep.rank] for gid in blocks}
+            return engine.apply(ep, mine)
+
+        def factory(attempt):
+            return FaultyTransport(InprocTransport(2, default_timeout=0.3), plan)
+
+        with pytest.raises(TransportError) as exc_info:
+            run_ranks_supervised(
+                2, rank_fn, transport_factory=factory,
+                policy=RetryPolicy(max_retries=3, backoff_base=0.0),
+                on_crash=reports.append,
+            )
+        return plan.events, exc_info.value.crash_report, reports
+
+    def test_same_seed_replays_identically(self):
+        events_a, crash_a, _ = self._run_once(seed=3)
+        events_b, crash_b, _ = self._run_once(seed=3)
+        assert events_a == events_b  # bit-identical fault sequence
+        assert crash_a.failed_rank == crash_b.failed_rank == 1
+        assert crash_a.error_type == crash_b.error_type == "RankKilledError"
+        assert crash_a.fault_events == crash_b.fault_events
+        assert crash_a.format() == crash_b.format()
+
+    def test_different_seed_diverges(self):
+        from repro.transport import FaultPlan
+
+        def stream(seed):
+            plan = FaultPlan(
+                seed=seed, p_drop=0.03, p_corrupt=0.03, p_duplicate=0.05,
+                p_delay=0.05,
+            )
+            return [plan.decide(r, i) for r in (0, 1) for i in range(200)]
+
+        assert stream(3) != stream(4)

@@ -8,8 +8,10 @@ machine with mpi4py the same module works under ``mpirun`` unchanged.
 
 import inspect
 
+import numpy as np
 import pytest
 
+from repro.transport import mpi
 from repro.transport.inproc import RankEndpoint
 from repro.transport.mpi import (
     MpiEndpoint,
@@ -20,6 +22,99 @@ from repro.transport.mpi import (
 )
 
 ENGINE_SURFACE = ["isend", "irecv", "recv", "send", "waitall", "barrier", "allreduce"]
+
+
+class TestArgumentValidation:
+    """The pre-MPI validators: opaque MPI_ERR_RANK becomes a named error."""
+
+    def test_valid_rank_passes_through_as_int(self):
+        assert mpi.validate_peer(np.int64(3), size=8) == 3
+        assert isinstance(mpi.validate_peer(np.int64(3), size=8), int)
+
+    def test_bool_rank_rejected(self):
+        with pytest.raises(TypeError, match="rank must be an integer"):
+            mpi.validate_peer(True, size=8)
+
+    def test_non_integer_rank_rejected(self):
+        with pytest.raises(TypeError, match="got 1.5"):
+            mpi.validate_peer(1.5, size=8)
+
+    def test_out_of_range_rank_rejected(self):
+        with pytest.raises(
+            ValueError, match="rank 8 out of range for communicator of size 8"
+        ):
+            mpi.validate_peer(8, size=8)
+        with pytest.raises(ValueError, match="dst rank -2"):
+            mpi.validate_peer(-2, size=8, what="dst")
+
+    def test_wildcard_source_only_where_allowed(self):
+        assert mpi.validate_peer(mpi.ANY_SOURCE, size=8, wildcard=True) == mpi.ANY_SOURCE
+        with pytest.raises(ValueError):
+            mpi.validate_peer(mpi.ANY_SOURCE, size=8)  # sends: no wildcard
+
+    def test_tag_validation(self):
+        assert mpi.validate_tag(np.int32(7)) == 7
+        assert mpi.validate_tag(mpi.ANY_TAG, wildcard=True) == mpi.ANY_TAG
+        with pytest.raises(ValueError, match="non-negative"):
+            mpi.validate_tag(-5)
+        with pytest.raises(ValueError, match="non-negative"):
+            mpi.validate_tag(mpi.ANY_TAG)  # sends: no wildcard
+        with pytest.raises(TypeError, match="tag must be an integer"):
+            mpi.validate_tag("halo")
+
+
+class TestStatsUnderRetries:
+    """TransportStats keeps counting across supervised retries — the
+    cost of recovery (resent messages, duplicate copies) is visible."""
+
+    def _run(self, plan, n_ranks=2, timeout=0.4, max_retries=2):
+        from repro.transport import (
+            FaultyTransport,
+            InprocTransport,
+            RetryPolicy,
+            run_ranks_supervised,
+        )
+
+        transports = []
+
+        def factory(attempt):
+            tr = FaultyTransport(
+                InprocTransport(n_ranks, default_timeout=timeout), plan
+            )
+            transports.append(tr)
+            return tr
+
+        def rank_fn(ep):
+            if ep.rank == 0:
+                ep.send(1, np.arange(16, dtype=float), tag=0)
+            else:
+                ep.recv(src=0, tag=0)
+            ep.barrier()
+
+        res = run_ranks_supervised(
+            n_ranks, rank_fn, transport_factory=factory,
+            policy=RetryPolicy(max_retries=max_retries, backoff_base=0.0),
+        )
+        return res, transports
+
+    def test_duplicate_inflates_message_count(self):
+        from repro.transport import FaultPlan
+
+        res, transports = self._run(FaultPlan(seed=0, inject={(0, 0): "duplicate"}))
+        assert res.attempts == 1
+        # one logical send, two wire messages
+        assert transports[0].stats[0].messages == 2
+
+    def test_retry_uses_fresh_transport_and_recounts(self):
+        from repro.transport import FaultPlan
+
+        res, transports = self._run(FaultPlan(seed=0, inject={(0, 0): "drop"}))
+        assert res.attempts == 2 and len(transports) == 2
+        # attempt 0: the send was swallowed before reaching the wire
+        assert transports[0].stats[0].messages == 0
+        # attempt 1: clean resend
+        assert transports[1].stats[0].messages == 1
+        assert transports[1].stats[0].bytes > 0
 
 
 class TestAvailabilityProbe:
