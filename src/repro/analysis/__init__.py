@@ -47,6 +47,13 @@ from repro.analysis.scaling import (
     isoefficiency_grids,
     parallel_efficiency,
 )
+from repro.analysis.timeline import (
+    model_step_trace,
+    real_step_trace,
+    sim_step_trace,
+    step_trace_for,
+    timeline_panel,
+)
 
 __all__ = [
     "Fig5Row",
@@ -80,4 +87,9 @@ __all__ = [
     "run_chaos_suite",
     "suite_passed",
     "survival_matrix",
+    "model_step_trace",
+    "real_step_trace",
+    "sim_step_trace",
+    "step_trace_for",
+    "timeline_panel",
 ]

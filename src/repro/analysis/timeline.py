@@ -1,0 +1,216 @@
+"""Timeline panel: one configuration's step trace from any plane.
+
+The three planes emit the same :class:`~repro.obs.spans.StepSpan` schema —
+the functional engine via :func:`~repro.obs.spans.engine_hook`, the DES
+via ``simulate_fd(step_tracer=...)``, the analytic model via
+:meth:`~repro.core.perfmodel.PerformanceModel.step_trace` — so this module
+only has to *configure* each plane identically and hand the traces to the
+exporters.  ``step_trace_for(plane, ...)`` is the single dispatch the
+``repro trace`` / ``repro timeline`` commands (and the CI artifact) use.
+
+The real and simulated planes execute the same compiled plan, so with
+``n_cores >= 4`` (where the timing planes' worker count equals the
+functional plane's full thread team) the per-worker step-kind *sequences*
+are identical across planes — the cross-plane consistency tests assert
+exactly that.  The model plane traces only the representative worker
+``rank0.w0``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.approaches import Approach, approach_by_name
+from repro.core.perfmodel import FDJob, PerformanceModel
+from repro.grid.array import scatter
+from repro.grid.decompose import Decomposition
+from repro.grid.grid import GridDescriptor
+from repro.grid.halo import HaloSpec
+from repro.obs.export import (
+    ascii_gantt,
+    diff_step_kinds,
+    format_diff,
+    format_utilization,
+    utilization_report,
+)
+from repro.obs.spans import SpanTracer, engine_hook
+
+__all__ = [
+    "PLANES",
+    "real_step_trace",
+    "sim_step_trace",
+    "model_step_trace",
+    "step_trace_for",
+    "timeline_panel",
+]
+
+PLANES = ("real", "sim", "model")
+
+
+def _resolve(approach) -> Approach:
+    return approach_by_name(approach) if isinstance(approach, str) else approach
+
+
+def real_step_trace(
+    approach,
+    n_cores: int,
+    n_grids: int,
+    shape: Sequence[int] = (24, 24, 24),
+    batch_size: int = 1,
+    ramp_up: bool = False,
+    seed: int = 0,
+    metrics=None,
+) -> SpanTracer:
+    """Run the functional engine for real and trace every schedule step.
+
+    Scatters ``n_grids`` random grids over ``approach.domains_for(n_cores)``
+    rank threads, applies the distributed Laplacian once with
+    :func:`~repro.obs.spans.engine_hook` attached, and returns the shared
+    ``SpanTracer(plane="real")`` (raw ``time.perf_counter`` timestamps —
+    exporters normalize).  ``metrics`` optionally instruments the
+    in-process transport of the run.
+    """
+    from repro.core.engine import DistributedStencil
+    from repro.stencil.coefficients import laplacian_coefficients
+    from repro.transport.inproc import InprocTransport, run_ranks
+
+    approach = _resolve(approach)
+    gd = GridDescriptor(tuple(shape))
+    decomp = Decomposition(gd, approach.domains_for(n_cores))
+    coeffs = laplacian_coefficients(2, spacing=gd.spacing)
+    engine = DistributedStencil(decomp, coeffs)
+    halo = HaloSpec(coeffs.radius)
+
+    arrays = {gid: gd.random(seed=seed + gid) for gid in range(n_grids)}
+    blocks = {gid: scatter(a, decomp, halo) for gid, a in arrays.items()}
+    tracer = SpanTracer(plane="real")
+
+    def rank_fn(ep):
+        mine = {gid: blocks[gid][ep.rank] for gid in arrays}
+        return engine.apply(
+            ep,
+            mine,
+            approach=approach,
+            batch_size=batch_size,
+            ramp_up=ramp_up,
+            on_step=engine_hook(tracer, ep.rank),
+        )
+
+    transport = (
+        InprocTransport(decomp.n_domains, metrics=metrics)
+        if metrics is not None
+        else None
+    )
+    run_ranks(decomp.n_domains, rank_fn, transport=transport)
+    return tracer
+
+
+def sim_step_trace(
+    approach,
+    n_cores: int,
+    n_grids: int,
+    shape: Sequence[int] = (24, 24, 24),
+    batch_size: int = 1,
+    ramp_up: bool = False,
+) -> SpanTracer:
+    """Replay the same configuration on the DES and trace it at sim time."""
+    from repro.core.simrun import simulate_fd
+
+    approach = _resolve(approach)
+    job = FDJob(GridDescriptor(tuple(shape)), n_grids)
+    tracer = SpanTracer(plane="sim")
+    simulate_fd(
+        job, approach, n_cores, batch_size=batch_size, ramp_up=ramp_up,
+        step_tracer=tracer,
+    )
+    return tracer
+
+
+def model_step_trace(
+    approach,
+    n_cores: int,
+    n_grids: int,
+    shape: Sequence[int] = (24, 24, 24),
+    batch_size: int = 1,
+    ramp_up: bool = False,
+) -> SpanTracer:
+    """The analytic model's reconstructed timeline (worker ``rank0.w0``)."""
+    approach = _resolve(approach)
+    job = FDJob(GridDescriptor(tuple(shape)), n_grids)
+    return PerformanceModel().step_trace(
+        job, approach, n_cores, batch_size=batch_size, ramp_up=ramp_up
+    )
+
+
+def step_trace_for(
+    plane: str,
+    approach,
+    n_cores: int,
+    n_grids: int,
+    shape: Sequence[int] = (24, 24, 24),
+    batch_size: int = 1,
+    ramp_up: bool = False,
+) -> SpanTracer:
+    """Dispatch to the named plane's tracer with identical configuration."""
+    if plane == "real":
+        return real_step_trace(
+            approach, n_cores, n_grids, shape, batch_size, ramp_up
+        )
+    if plane == "sim":
+        return sim_step_trace(
+            approach, n_cores, n_grids, shape, batch_size, ramp_up
+        )
+    if plane == "model":
+        return model_step_trace(
+            approach, n_cores, n_grids, shape, batch_size, ramp_up
+        )
+    raise ValueError(f"unknown plane {plane!r}; expected one of {PLANES}")
+
+
+def timeline_panel(
+    approach,
+    n_cores: int,
+    n_grids: int,
+    shape: Sequence[int] = (24, 24, 24),
+    batch_size: int = 1,
+    ramp_up: bool = False,
+    planes: Sequence[str] = ("real", "sim"),
+    width: int = 72,
+    diff: Optional[tuple[str, str]] = None,
+) -> str:
+    """Gantt + utilization for each requested plane, one text panel.
+
+    ``diff=("real", "sim")`` appends the per-step-kind time comparison
+    between two of the traced planes.
+    """
+    approach = _resolve(approach)
+    traces = {
+        p: step_trace_for(
+            p, approach, n_cores, n_grids, shape, batch_size, ramp_up
+        )
+        for p in planes
+    }
+    header = (
+        f"timeline — {approach.name}, {n_cores} cores, {n_grids} grids of "
+        f"{'x'.join(str(s) for s in shape)}, batch {batch_size}"
+    )
+    sections = [header]
+    for p, tr in traces.items():
+        sections.append(
+            f"[{p}]\n"
+            + ascii_gantt(tr, width=width, normalize=True)
+            + "\n"
+            + format_utilization(utilization_report(tr), title=f"{p} utilization")
+        )
+    if diff is not None:
+        a, b = diff
+        for name in (a, b):
+            if name not in traces:
+                traces[name] = step_trace_for(
+                    name, approach, n_cores, n_grids, shape, batch_size, ramp_up
+                )
+        sections.append(
+            f"step-kind diff ({a} vs {b})\n"
+            + format_diff(diff_step_kinds(traces[a], traces[b]), a, b)
+        )
+    return "\n\n".join(sections)

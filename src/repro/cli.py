@@ -14,6 +14,10 @@ Usage::
     python -m repro schedule flat-optimized --cores 8 --grids 4 --batch-size 2
     python -m repro chaos --seed 0    # fault-injection survival matrix
     python -m repro mtbf              # Daly checkpoint-cadence sweep @16k cores
+    python -m repro trace --approach hybrid-multiple --out trace.json
+    python -m repro trace --diff real:sim
+    python -m repro timeline --planes real sim model
+    python -m repro metrics           # instrumented SCF -> metrics snapshot
 
 Every command prints the same rows the corresponding benchmark asserts
 on; this is the interactive face of ``pytest benchmarks/``.
@@ -253,6 +257,97 @@ def _cmd_mtbf(args: argparse.Namespace) -> str:
     return format_mtbf_table(rows) + note
 
 
+def _cmd_trace(args: argparse.Namespace) -> str:
+    """Emit a Chrome-trace JSON (or a cross-plane diff) for one config."""
+    import json
+
+    from repro.analysis.timeline import step_trace_for
+    from repro.obs.export import chrome_trace, diff_step_kinds, format_diff
+
+    shape = tuple(args.shape)
+    if args.diff:
+        try:
+            a, b = args.diff.split(":")
+        except ValueError:
+            raise SystemExit(
+                f"--diff wants PLANE:PLANE (e.g. real:sim), got {args.diff!r}"
+            )
+        traces = {
+            p: step_trace_for(
+                p, args.approach, args.cores, args.grids, shape,
+                args.batch_size, args.ramp_up,
+            )
+            for p in (a, b)
+        }
+        head = (
+            f"step-kind seconds, {args.approach} @ {args.cores} cores, "
+            f"{args.grids} grids of {'x'.join(map(str, shape))}"
+        )
+        return head + "\n" + format_diff(
+            diff_step_kinds(traces[a], traces[b]), a, b
+        )
+    tracer = step_trace_for(
+        args.plane, args.approach, args.cores, args.grids, shape,
+        args.batch_size, args.ramp_up,
+    )
+    payload = json.dumps(chrome_trace(tracer), indent=1)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(payload)
+        return (
+            f"wrote {len(tracer)} spans ({args.plane} plane) to {args.out} — "
+            "open in chrome://tracing or ui.perfetto.dev"
+        )
+    return payload
+
+
+def _cmd_timeline(args: argparse.Namespace) -> str:
+    """ASCII Gantt + utilization panel across planes."""
+    from repro.analysis.timeline import timeline_panel
+
+    return timeline_panel(
+        args.approach,
+        args.cores,
+        args.grids,
+        tuple(args.shape),
+        args.batch_size,
+        args.ramp_up,
+        planes=tuple(args.planes),
+        diff=("real", "sim") if args.diff else None,
+    )
+
+
+def _cmd_metrics(args: argparse.Namespace) -> str:
+    """Run a small instrumented SCF and print the whole-run metrics."""
+    import json
+
+    import numpy as np
+
+    from repro.dft.distributed_scf import DistributedSCF
+    from repro.dft.checkpoint import MemoryCheckpointStore
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.export import format_metrics
+
+    registry = MetricsRegistry()
+    gd = GridDescriptor((args.size,) * 3, pbc=(False, False, False))
+    x, y, z = np.meshgrid(*(np.arange(args.size),) * 3, indexing="ij")
+    r2 = sum((c - (args.size - 1) / 2) ** 2 for c in (x, y, z))
+    v = 0.05 * r2
+    store = MemoryCheckpointStore(metrics=registry)
+    DistributedSCF(
+        gd, v, n_bands=args.bands, n_ranks=args.ranks,
+        tolerance=1e-3, max_iterations=args.iterations,
+        checkpoint_store=store, metrics=registry,
+    ).run()
+    if args.json:
+        return json.dumps(registry.snapshot(), indent=1)
+    head = (
+        f"metrics — SCF, {args.bands} band(s), {args.ranks} ranks, "
+        f"{args.size}^3, <= {args.iterations} iterations"
+    )
+    return head + "\n" + format_metrics(registry)
+
+
 def _cmd_report(args: argparse.Namespace) -> str:
     """Every experiment in one run — a regenerated EXPERIMENTS digest."""
     sections = [
@@ -325,6 +420,48 @@ def build_parser() -> argparse.ArgumentParser:
     pm.add_argument("--bands", type=int, default=512)
     pm.add_argument("--shape", type=int, nargs=3, default=[128, 128, 128],
                     metavar=("NX", "NY", "NZ"))
+
+    def _trace_config(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--approach", default="hybrid-multiple",
+                       help="approach name (default hybrid-multiple)")
+        p.add_argument("--cores", type=int, default=8)
+        p.add_argument("--grids", type=int, default=4)
+        p.add_argument("--batch-size", type=int, default=2)
+        p.add_argument("--ramp-up", action="store_true")
+        p.add_argument("--shape", type=int, nargs=3, default=[16, 16, 16],
+                       metavar=("NX", "NY", "NZ"))
+
+    pt = sub.add_parser(
+        "trace",
+        help="emit Chrome-trace JSON of one configuration's schedule steps",
+    )
+    _trace_config(pt)
+    pt.add_argument("--plane", choices=["real", "sim", "model"],
+                    default="real",
+                    help="which execution plane to trace (default real)")
+    pt.add_argument("--out", help="write the JSON here instead of stdout")
+    pt.add_argument("--diff", metavar="PLANE:PLANE",
+                    help="print per-step-kind deltas between two planes "
+                         "(e.g. real:sim) instead of JSON")
+    pl = sub.add_parser(
+        "timeline", help="ASCII Gantt + utilization panel across planes"
+    )
+    _trace_config(pl)
+    pl.add_argument("--planes", nargs="+", default=["real", "sim"],
+                    choices=["real", "sim", "model"],
+                    help="planes to render (default: real sim)")
+    pl.add_argument("--diff", action="store_true",
+                    help="append the real-vs-sim step-kind diff")
+    pme = sub.add_parser(
+        "metrics", help="run a small instrumented SCF and dump its metrics"
+    )
+    pme.add_argument("--ranks", type=int, default=2)
+    pme.add_argument("--bands", type=int, default=2)
+    pme.add_argument("--size", type=int, default=10,
+                     help="grid edge length (size^3 points)")
+    pme.add_argument("--iterations", type=int, default=6)
+    pme.add_argument("--json", action="store_true",
+                     help="machine-readable snapshot (the CI artifact shape)")
     return parser
 
 
@@ -343,6 +480,9 @@ _COMMANDS = {
     "schedule": _cmd_schedule,
     "chaos": _cmd_chaos,
     "mtbf": _cmd_mtbf,
+    "trace": _cmd_trace,
+    "timeline": _cmd_timeline,
+    "metrics": _cmd_metrics,
 }
 
 

@@ -25,7 +25,12 @@ plane (:mod:`repro.core.perfmodel`, :mod:`repro.core.simrun`).
 end)`` wall-clock timestamps around every interpreted step;
 :func:`repro.core.schedule.tracer_hook` adapts it to a
 :class:`repro.des.trace.Tracer`, so a real run can emit the same Gantt
-chart as the simulator.
+chart as the simulator.  For the unified telemetry plane use
+:func:`repro.obs.spans.engine_hook` instead: it records typed
+:class:`repro.obs.spans.StepSpan` objects (step kind, worker, grid batch,
+seq) into a thread-safe :class:`repro.obs.spans.SpanTracer` shared by all
+ranks, which the exporters in :mod:`repro.obs.export` turn into Chrome
+traces, utilization reports, and real-vs-sim diffs.
 """
 
 from __future__ import annotations

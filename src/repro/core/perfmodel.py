@@ -195,24 +195,26 @@ class PerformanceModel:
         # The paper's stencil radius; grids carry no radius, the FD op does.
         return 2
 
-    # -- the four approaches ---------------------------------------------------
-    def evaluate(
+    # -- per-round plan costs (shared by evaluate and step_trace) --------------
+    def _plan_costs(
         self,
         job: FDJob,
         approach: Approach,
         n_cores: int,
-        batch_size: int = 1,
-        ramp_up: bool = False,
-    ) -> FDTiming:
-        """Predict one FD invocation's timing by walking the compiled plan.
+        batch_size: int,
+        ramp_up: bool,
+    ):
+        """Attach per-round costs to a pipelined plan's representative worker.
 
-        The schedule itself — batching rounds, message sizes, barrier and
-        worker structure — comes from :func:`repro.core.schedule.compile_schedule`,
-        the same plan the functional engine interprets and the DES replays;
-        this model only attaches costs to the plan's representative
-        (busiest) worker.
+        Returns ``(plan, decomp, rep, comp, comm, barriers, spawn_join,
+        sync)`` where ``comp[k]``/``comm[k]`` are round ``k``'s
+        computation and exchange seconds, and ``barriers[k]`` is the part
+        of ``comp[k]`` that is thread-barrier time (non-zero only for
+        master-only's per-grid barriers) — kept separate so the model's
+        step trace can emit ``GridBarrier`` spans distinct from compute.
+        Blocking plans return ``comp``/``comm`` = ``None`` (cost them via
+        :meth:`_blocking_round_costs`).
         """
-        check_positive_int(n_cores, "n_cores")
         decomp = self._decomposition(job, approach, n_cores)
         plan = compile_schedule(
             approach,
@@ -223,31 +225,23 @@ class PerformanceModel:
             halo_width=self._halo_width(decomp),
             n_workers=timing_plane_workers(approach, n_cores),
         )
-        w = self._halo_width(decomp)
+        # Representative worker: the first worker of domain 0 (contiguous
+        # splitting gives the leading worker the most grids).
+        rep = plan.rank_plan(0).workers[0]
+        if plan.blocking:
+            return plan, decomp, rep, None, None, None, 0.0, 0.0
+
         t_point = self._point_time(decomp)
         t_point_base = self.spec.stencil_point_time
         block_points = decomp.max_block_points()
         threads = min(4, n_cores) if plan.uses_thread_team else 1
         ranks_per_node = min(4, n_cores) if not plan.uses_thread_team else 1
-
-        msg_bytes = max(
-            (decomp.send_bytes(0, dim, +1, w) for dim in range(3)), default=0
-        )
-        # Representative worker: the first worker of domain 0 (contiguous
-        # splitting gives the leading worker the most grids).
-        rep = plan.rank_plan(0).workers[0]
         rounds = rep.rounds
-
-        if plan.blocking:
-            return self._evaluate_original(job, approach, n_cores, decomp, rep)
-
-        # ---- pipelined plans: attach costs to each compiled round ----
         spawn_join = (
             self.spec.threads.spawn_time + self.spec.threads.join_time
             if plan.uses_thread_team
             else 0.0
         )
-        ideal_per_core = job.total_points / n_cores * t_point_base
         # CPU cost of entering the MPI library: every send/recv/wait call
         # burns core time; MULTIPLE-mode calls additionally queue on the
         # rank's lock behind the other threads.  This is the cost batching
@@ -266,13 +260,12 @@ class PerformanceModel:
             axis = quarter.index(max(quarter))
             quarter[axis] = max(1, math.ceil(quarter[axis] / threads))
             t_quarter = t_point_base * self._halo_factor(quarter)
+            barriers = [
+                len(r.grid_ids) * self.spec.threads.barrier_time for r in rounds
+            ]
             comp = [
-                len(r.grid_ids)
-                * (
-                    block_points / threads * t_quarter
-                    + self.spec.threads.barrier_time
-                )
-                for r in rounds
+                len(r.grid_ids) * block_points / threads * t_quarter + b
+                for r, b in zip(rounds, barriers)
             ]
             # The master thread pays the per-call CPU cost on the comm path.
             comm = [
@@ -293,6 +286,7 @@ class PerformanceModel:
             # ``plan.n_workers`` workers on one domain — either way the
             # per-direction link carries that many streams.
             streams = plan.n_workers if plan.n_workers > 1 else ranks_per_node
+            barriers = [0.0] * len(rounds)
             comp = [
                 len(r.grid_ids) * block_points * t_point + round_call_cpu
                 for r in rounds
@@ -306,6 +300,38 @@ class PerformanceModel:
                 sync += len(rounds) * calls_per_round * threads * (
                     self.spec.threads.mpi_multiple_overhead
                 )
+        return plan, decomp, rep, comp, comm, barriers, spawn_join, sync
+
+    # -- the four approaches ---------------------------------------------------
+    def evaluate(
+        self,
+        job: FDJob,
+        approach: Approach,
+        n_cores: int,
+        batch_size: int = 1,
+        ramp_up: bool = False,
+    ) -> FDTiming:
+        """Predict one FD invocation's timing by walking the compiled plan.
+
+        The schedule itself — batching rounds, message sizes, barrier and
+        worker structure — comes from :func:`repro.core.schedule.compile_schedule`,
+        the same plan the functional engine interprets and the DES replays;
+        this model only attaches costs to the plan's representative
+        (busiest) worker.
+        """
+        check_positive_int(n_cores, "n_cores")
+        plan, decomp, rep, comp, comm, _, spawn_join, sync = self._plan_costs(
+            job, approach, n_cores, batch_size, ramp_up
+        )
+        if plan.blocking:
+            return self._evaluate_original(job, approach, n_cores, decomp, rep)
+
+        w = self._halo_width(decomp)
+        threads = min(4, n_cores) if plan.uses_thread_team else 1
+        msg_bytes = max(
+            (decomp.send_bytes(0, dim, +1, w) for dim in range(3)), default=0
+        )
+        ideal_per_core = job.total_points / n_cores * self.spec.stencil_point_time
 
         total = _pipeline_time(comm, comp) + spawn_join
         compute_per_core = sum(comp)
@@ -385,6 +411,106 @@ class PerformanceModel:
                 (decomp.send_bytes(0, dim, +1, w) for dim in range(3)), default=0
             ),
         )
+
+    # -- model-plane span trace --------------------------------------------------
+    def step_trace(
+        self,
+        job: FDJob,
+        approach: Approach,
+        n_cores: int,
+        batch_size: int = 1,
+        ramp_up: bool = False,
+    ):
+        """Reconstruct the modelled timeline as a ``SpanTracer(plane="model")``.
+
+        Walks the same per-round costs :meth:`evaluate` sums and lays them
+        out on the representative worker ``rank0.w0`` exactly as the
+        :func:`_pipeline_time` recurrence schedules them: round 0's
+        exchange is fully exposed (a ``WaitAll`` span), every later round
+        overlaps its exchange with the previous round's compute and shows
+        only the *exposed* remainder as a ``WaitAll`` span, and thread
+        spawn/join appears as a trailing ``JoinBarrier`` span.  Master-only
+        rounds split their per-grid thread barriers out of the compute
+        span as ``GridBarrier`` spans.
+
+        The result feeds the same :func:`repro.obs.export.utilization_report`
+        /  :func:`repro.obs.export.chrome_trace` pipeline as real-engine
+        and DES traces, so the three planes are diffable span-for-span:
+        the report's makespan equals ``FDTiming.total`` and its ``comm``
+        seconds equal ``FDTiming.comm_exposed`` by construction.
+        """
+        from repro.obs.spans import SpanTracer, StepSpan
+
+        check_positive_int(n_cores, "n_cores")
+        plan, decomp, rep, comp, comm, barriers, spawn_join, _ = self._plan_costs(
+            job, approach, n_cores, batch_size, ramp_up
+        )
+        tracer = SpanTracer(plane="model")
+        resource = "rank0.w0"
+        rounds = rep.rounds
+
+        def add(kind: str, start: float, end: float, r) -> None:
+            tracer.add(
+                StepSpan(
+                    resource=resource,
+                    step_kind=kind,
+                    start=start,
+                    end=end,
+                    plane="model",
+                    worker=0,
+                    grid_ids=r.grid_ids if r is not None else (),
+                    seq=r.seq if r is not None else None,
+                )
+            )
+
+        if plan.blocking:
+            # Serialized exchange (flat original): per round a blocking
+            # wait for the exchange, then the batch's computation —
+            # nothing overlaps (see :meth:`_evaluate_original`).
+            torus = self.spec.torus
+            t_point = self._point_time(decomp)
+            block_points = decomp.max_block_points()
+            t = 0.0
+            for r in rounds:
+                c = sum(
+                    2 * torus.message_overhead
+                    + self._mesh_factor(n_cores, decomp, s.dim)
+                    * s.nbytes
+                    / torus.effective_bandwidth
+                    for s in r.sends
+                )
+                if c > 0.0:
+                    add("WaitAll", t, t + c, r)
+                    t += c
+                k = len(r.grid_ids) * block_points * t_point
+                add("ComputeInterior", t, t + k, r)
+                t += k
+            return tracer
+
+        # Pipelined plans: follow the _pipeline_time recurrence
+        #   e_0 = comm[0];  e_k = e_{k-1} + max(comp[k-1], comm[k])
+        # emitting compute spans at e_{k-1} and the exposed tail of each
+        # exchange (if any) as a WaitAll span.
+        e = comm[0]
+        add("WaitAll", 0.0, e, rounds[0])
+
+        def add_comp(k: int, start: float) -> float:
+            barrier = barriers[k]
+            work = comp[k] - barrier
+            add("ComputeInterior", start, start + work, rounds[k])
+            if barrier > 0.0:
+                add("GridBarrier", start + work, start + comp[k], rounds[k])
+            return start + comp[k]
+
+        for k in range(1, len(rounds)):
+            comp_end = add_comp(k - 1, e)
+            e = e + max(comp[k - 1], comm[k])
+            if e > comp_end:
+                add("WaitAll", comp_end, e, rounds[k])
+        end = add_comp(len(rounds) - 1, e)
+        if spawn_join > 0.0:
+            add("JoinBarrier", end, end + spawn_join, None)
+        return tracer
 
     def _comm_per_node(
         self, decomp: Decomposition, approach: Approach, n_cores: int, n_grids: int

@@ -631,6 +631,11 @@ def tracer_hook(
     produces: one resource per worker (``rank3.w0``), one span per step,
     timestamps relative to the rank's first step.  Use one tracer per
     rank — ``Tracer`` is not thread-safe across rank threads.
+
+    :func:`repro.obs.spans.engine_hook` is the structured successor: it
+    keeps the typed step metadata (kind, seq, grid batch) instead of a
+    flattened label, records raw (unshifted) timestamps, and one
+    thread-safe :class:`repro.obs.spans.SpanTracer` serves every rank.
     """
     origin: list[float] = []
 

@@ -47,6 +47,7 @@ from repro.core.schedule import (
 )
 from repro.des.core import Event
 from repro.des.trace import Tracer
+from repro.obs.spans import SpanTracer
 from repro.grid.decompose import Decomposition
 from repro.transport.faults import FaultPlan
 from repro.machine.machine import Machine
@@ -80,6 +81,11 @@ class SimResult:
     #: activity trace (compute spans per core, transfers per link); only
     #: populated when ``simulate_fd(..., trace=True)``
     trace: Optional[Tracer] = None
+    #: schedule-step trace in the unified span schema (one StepSpan per
+    #: replayed IR step, simulated time); only populated when
+    #: ``simulate_fd(..., step_tracer=...)`` — diffable against a real
+    #: engine trace of the same plan
+    step_trace: Optional[SpanTracer] = None
     #: faults the fault plan injected during the replay (0 without one)
     fault_events: int = 0
 
@@ -164,6 +170,7 @@ class _FDSimulation:
         placement: str = "auto",
         trace: bool = False,
         fault_plan: Optional[FaultPlan] = None,
+        step_tracer: Optional[SpanTracer] = None,
     ) -> None:
         check_positive_int(n_cores, "n_cores")
         approach.validate_batch_size(batch_size)
@@ -174,6 +181,7 @@ class _FDSimulation:
         self.ramp_up = ramp_up
         self.spec = spec
         self.fault_plan = fault_plan
+        self.step_tracer = step_tracer
         mode, n_nodes = _node_mode_for(approach, n_cores)
         self.tracer = Tracer() if trace else None
         self.machine = Machine(n_nodes, mode, spec, tracer=self.tracer)
@@ -252,7 +260,9 @@ class _FDSimulation:
         yield from ctx.isend(dst, nbytes, tag)
 
     # -- step replay ----------------------------------------------------------
-    def replay_worker(self, ctx: RankContext, wp: WorkerPlan) -> Proc:
+    def replay_worker(
+        self, ctx: RankContext, wp: WorkerPlan, domain: int = 0
+    ) -> Proc:
         """Replay one worker's compiled steps as timed simulated-MPI calls.
 
         Besides the steps themselves, the worker pays the per-round CPU
@@ -261,14 +271,23 @@ class _FDSimulation:
         under double buffering is one round ahead of the ``WaitAll`` being
         replayed.  Blocking plans pay no separate call CPU (the fixed cost
         sits inside the network model's per-message overhead).
+
+        With a ``step_tracer``, every replayed step also lands as a
+        :class:`~repro.obs.spans.StepSpan` at simulated time on resource
+        ``rank{domain}.w{worker}`` — the same naming the real engine's
+        :func:`repro.obs.spans.engine_hook` uses, so the two traces diff
+        step-for-step.
         """
         plan = self.plan
         rounds = wp.rounds
+        tracer = self.step_tracer
+        resource = f"rank{domain}.w{wp.index}"
         t_call = self.spec.threads.mpi_call_cpu_time
         lookahead = 1 if plan.double_buffered else 0
         next_round = 0
         pending: dict[int, list] = {}
         for st in wp.steps:
+            step_t0 = ctx.sim.now
             if (
                 not plan.blocking
                 and t_call
@@ -314,6 +333,8 @@ class _FDSimulation:
                 # cost is inside the calibrated per-point compute time)
                 pass
             # JoinBarrier: the node wrapper pays the join cost once
+            if tracer is not None:
+                tracer.record_step(resource, st, wp.index, step_t0, ctx.sim.now)
 
     def _quarter_compute(self, ctx: RankContext) -> Proc:
         """Master-only's shared-grid kernel: four cores split one grid."""
@@ -334,7 +355,7 @@ class _FDSimulation:
             yield ctx.sim.timeout(self.spec.threads.spawn_time)
             team = [
                 ctx.sim.spawn(
-                    self.replay_worker(ctx.on_core(wp.index), wp),
+                    self.replay_worker(ctx.on_core(wp.index), wp, rp.domain),
                     name=f"{self.approach.name}-d{rp.domain}.t{wp.index}",
                 )
                 for wp in rp.workers
@@ -345,7 +366,7 @@ class _FDSimulation:
             yield ctx.sim.timeout(self.spec.threads.join_time)
         else:
             for wp in rp.workers:
-                yield from self.replay_worker(ctx, wp)
+                yield from self.replay_worker(ctx, wp, rp.domain)
 
     # -- orchestration --------------------------------------------------------
     def run(self) -> SimResult:
@@ -359,7 +380,7 @@ class _FDSimulation:
                     if wp.steps:
                         self.machine.sim.spawn(
                             self.replay_worker(
-                                self.comm.context(rank + wp.slot), wp
+                                self.comm.context(rank + wp.slot), wp, domain
                             ),
                             name=f"{self.approach.name}-d{domain}.{wp.slot}",
                         )
@@ -379,6 +400,7 @@ class _FDSimulation:
             comm_bytes_per_node=inter_bytes / self.machine.n_nodes,
             messages=self.comm.messages_sent,
             trace=self.tracer,
+            step_trace=self.step_tracer,
             fault_events=(
                 len(self.fault_plan.events) if self.fault_plan is not None else 0
             ),
@@ -395,6 +417,7 @@ def simulate_fd(
     placement: str = "auto",
     trace: bool = False,
     fault_plan: Optional[FaultPlan] = None,
+    step_tracer: Optional[SpanTracer] = None,
 ) -> SimResult:
     """Simulate one FD invocation at message level on the DES machine.
 
@@ -407,8 +430,13 @@ def simulate_fd(
     retransmit windows, spurious wire copies, and restart penalties for
     killed ranks.  The plan's counters advance during the replay — pass
     ``plan.replica()`` to keep the original pristine.
+
+    ``step_tracer`` (a :class:`~repro.obs.spans.SpanTracer`, typically
+    ``SpanTracer(plane="sim")``) records every replayed schedule-IR step
+    as a unified span at simulated time; the result's ``step_trace``
+    carries it for export/diffing against the other planes.
     """
     return _FDSimulation(
         job, approach, n_cores, batch_size, ramp_up, spec, placement, trace,
-        fault_plan,
+        fault_plan, step_tracer,
     ).run()

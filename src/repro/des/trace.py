@@ -17,7 +17,21 @@ from typing import Iterable, Optional
 
 @dataclass(frozen=True, order=True)
 class Span:
-    """One traced activity interval."""
+    """One traced activity interval.
+
+    .. warning:: **Ordering pitfall.**  ``order=True`` with
+       ``field(compare=False)`` on ``resource``/``label`` means spans
+       compare (and sort) by ``(start, end)`` *only* — two spans on
+       different resources with the same interval are ``==`` for
+       ordering purposes, so ``sorted(spans)`` leaves their relative
+       order to insertion order, and ``insort`` (used by
+       :meth:`Tracer.record`) keeps ties in arrival order.  That is fine
+       for the per-resource queries here, but any exporter needing a
+       *deterministic total order* must add explicit tie-breakers — see
+       ``repro.obs.export`` (sorts by ``(start, end, resource, label)``)
+       and ``repro.obs.spans.StepSpan`` (which drops ``order=True``
+       entirely in favor of an explicit ``sort_key``).
+    """
 
     start: float
     end: float
@@ -88,21 +102,10 @@ class Tracer:
         """Render the trace as an ASCII Gantt chart.
 
         One row per resource, time flowing right; overlapping spans merge
-        visually.  Useful in test failures and example output.
+        visually.  Useful in test failures and example output.  The
+        rendering itself lives in :func:`repro.obs.export.ascii_gantt`,
+        shared with the real-engine and model traces.
         """
-        rows = list(resources) if resources is not None else self.resources()
-        total = self.makespan()
-        if total <= 0 or not rows:
-            return "(empty trace)"
-        name_w = max(len(r) for r in rows)
-        lines = []
-        for r in rows:
-            cells = [" "] * width
-            for s in self.spans(r):
-                lo = int(s.start / total * (width - 1))
-                hi = max(lo, int(s.end / total * (width - 1)))
-                for i in range(lo, hi + 1):
-                    cells[i] = fill
-            lines.append(f"{r.rjust(name_w)} |{''.join(cells)}|")
-        lines.append(f"{' ' * name_w} 0{'~'.center(width - 2)}{total:.3g}s")
-        return "\n".join(lines)
+        from repro.obs.export import ascii_gantt
+
+        return ascii_gantt(self._spans, width=width, resources=resources, fill=fill)

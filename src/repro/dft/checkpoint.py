@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -121,7 +122,35 @@ def _validate_payload(fields: dict[str, np.ndarray]) -> None:
         raise ValueError(f"checkpoint deposit missing fields {sorted(missing)}")
 
 
-class MemoryCheckpointStore:
+class _DepositTelemetry:
+    """Shared store instrumentation: bytes, latency, commits.
+
+    Both stores time every :meth:`deposit` into the
+    ``checkpoint_deposit_seconds`` histogram, count the deposited payload
+    into ``checkpoint_bytes_total`` and count committed snapshots into
+    ``checkpoint_commits_total`` — on the registry passed at construction
+    (the null registry by default, so untelemetered stores pay only the
+    no-op calls).
+    """
+
+    def _init_metrics(self, metrics) -> None:
+        from repro.obs.metrics import resolve_registry
+
+        self.metrics = resolve_registry(metrics)
+        self._m_bytes = self.metrics.counter("checkpoint_bytes_total")
+        self._m_commits = self.metrics.counter("checkpoint_commits_total")
+        self._m_latency = self.metrics.histogram("checkpoint_deposit_seconds")
+
+    def _record_deposit(
+        self, fields: dict[str, np.ndarray], elapsed: float, committed: bool
+    ) -> None:
+        self._m_bytes.inc(sum(arr.nbytes for arr in fields.values()))
+        self._m_latency.observe(elapsed)
+        if committed:
+            self._m_commits.inc()
+
+
+class MemoryCheckpointStore(_DepositTelemetry):
     """In-process checkpoint store with atomic commit.
 
     Each rank deposits its own blocks (N-N checkpointing); a snapshot for
@@ -130,10 +159,11 @@ class MemoryCheckpointStore:
     rank threads of the in-process transport deposit concurrently.
     """
 
-    def __init__(self, keep: int = 2):
+    def __init__(self, keep: int = 2, metrics=None):
         if keep < 1:
             raise ValueError(f"keep must be >= 1, got {keep}")
         self.keep = keep
+        self._init_metrics(metrics)
         self._lock = threading.Lock()
         self._pending: dict[int, dict] = {}  # iteration -> partial snapshot
         self._committed: dict[int, SCFCheckpoint] = {}
@@ -149,6 +179,7 @@ class MemoryCheckpointStore:
     ) -> bool:
         """Deposit one rank's blocks; True if this commits the snapshot."""
         _validate_payload(fields)
+        t0 = time.perf_counter()
         copied = {k: np.array(v, copy=True) for k, v in fields.items()}
         with self._lock:
             slot = self._pending.setdefault(
@@ -166,20 +197,21 @@ class MemoryCheckpointStore:
                     f"({slot['n_domains']} vs {n_domains})"
                 )
             slot["blocks"][rank] = copied
-            if len(slot["blocks"]) < n_domains:
-                return False
-            ckpt = SCFCheckpoint(
-                iteration=iteration,
-                n_domains=n_domains,
-                shape=slot["shape"],
-                energies=slot["energies"],
-                blocks=slot["blocks"],
-            )
-            del self._pending[iteration]
-            self._committed[iteration] = ckpt
-            for it in sorted(self._committed)[: -self.keep]:
-                del self._committed[it]
-            return True
+            committed = len(slot["blocks"]) == n_domains
+            if committed:
+                ckpt = SCFCheckpoint(
+                    iteration=iteration,
+                    n_domains=n_domains,
+                    shape=slot["shape"],
+                    energies=slot["energies"],
+                    blocks=slot["blocks"],
+                )
+                del self._pending[iteration]
+                self._committed[iteration] = ckpt
+                for it in sorted(self._committed)[: -self.keep]:
+                    del self._committed[it]
+        self._record_deposit(fields, time.perf_counter() - t0, committed)
+        return committed
 
     def iterations(self) -> list[int]:
         """Committed snapshot iterations, ascending."""
@@ -210,7 +242,7 @@ class MemoryCheckpointStore:
             return n
 
 
-class FileCheckpointStore:
+class FileCheckpointStore(_DepositTelemetry):
     """On-disk checkpoint store: one ``.npz`` per rank per snapshot.
 
     Layout under ``root``::
@@ -224,12 +256,13 @@ class FileCheckpointStore:
     rule real restart writers follow.
     """
 
-    def __init__(self, root: str | Path, keep: int = 2):
+    def __init__(self, root: str | Path, keep: int = 2, metrics=None):
         if keep < 1:
             raise ValueError(f"keep must be >= 1, got {keep}")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.keep = keep
+        self._init_metrics(metrics)
         self._lock = threading.Lock()
 
     def _rank_path(self, iteration: int, rank: int) -> Path:
@@ -248,24 +281,26 @@ class FileCheckpointStore:
         fields: dict[str, np.ndarray],
     ) -> bool:
         _validate_payload(fields)
+        t0 = time.perf_counter()
         np.savez(self._rank_path(iteration, rank), **fields)
         with self._lock:
             have = [
                 r for r in range(n_domains)
                 if self._rank_path(iteration, r).exists()
             ]
-            if len(have) < n_domains:
-                return False
-            marker = {
-                "version": CHECKPOINT_VERSION,
-                "iteration": iteration,
-                "n_domains": n_domains,
-                "shape": list(shape),
-                "energies": [float(e) for e in np.atleast_1d(energies)],
-            }
-            self._marker_path(iteration).write_text(json.dumps(marker))
-            self._prune()
-            return True
+            committed = len(have) == n_domains
+            if committed:
+                marker = {
+                    "version": CHECKPOINT_VERSION,
+                    "iteration": iteration,
+                    "n_domains": n_domains,
+                    "shape": list(shape),
+                    "energies": [float(e) for e in np.atleast_1d(energies)],
+                }
+                self._marker_path(iteration).write_text(json.dumps(marker))
+                self._prune()
+        self._record_deposit(fields, time.perf_counter() - t0, committed)
+        return committed
 
     def _prune(self) -> None:
         committed = sorted(self._iterations_unlocked())

@@ -22,6 +22,7 @@ round-off, so tests can pin it against the sequential SCF.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -72,6 +73,7 @@ class DistributedSCF:
         seed: int = 0,
         checkpoint_store=None,
         checkpoint_every: int = 1,
+        metrics=None,
     ):
         grid.check_array(external_potential, "external_potential")
         if n_bands < 1:
@@ -96,6 +98,11 @@ class DistributedSCF:
             raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
         self.checkpoint_store = checkpoint_store
         self.checkpoint_every = checkpoint_every
+        from repro.obs.metrics import resolve_registry
+
+        #: per-iteration residual/energy gauges and timing land here (the
+        #: null registry by default); rank 0 writes, the loop is SPMD
+        self.metrics = resolve_registry(metrics)
 
         self.decomp = Decomposition(grid, n_ranks)
         self.halo = HaloSpec(2)
@@ -209,7 +216,15 @@ class DistributedSCF:
             start_it = restore.iteration
         converged = False
         it = start_it
+        # rank 0 reports the loop's telemetry (the loop is SPMD, so one
+        # reporter suffices and the gauges are not written concurrently)
+        report = rank == 0
+        m_iters = self.metrics.counter("scf_iterations_total")
+        m_seconds = self.metrics.histogram("scf_iteration_seconds")
+        m_residual = self.metrics.gauge("scf_residual")
+        m_energy = self.metrics.gauge("scf_band_energy_sum")
         for it in range(start_it + 1, self.max_iterations + 1):
+            it_t0 = time.perf_counter()
             v_local = v_ext + v_h + v_xc
             for _ in range(self.band_iterations):
                 h_states = self._apply_h(ep, states, v_local)
@@ -265,8 +280,14 @@ class DistributedSCF:
             if rho_old is not None:
                 local_change = float(np.abs(rho - rho_old).sum() * self.h3)
                 change = float(ep.allreduce(local_change)[0])
+                if report:
+                    m_residual.set(change)
                 if change < self.tolerance:
                     converged = True
+                    if report:
+                        m_iters.inc()
+                        m_seconds.observe(time.perf_counter() - it_t0)
+                        m_energy.set(float(np.dot(self.occ, energies)))
                     break
             rho_old = rho.copy()
 
@@ -300,6 +321,11 @@ class DistributedSCF:
                         "v_xc": v_xc,
                     },
                 )
+
+            if report:
+                m_iters.inc()
+                m_seconds.observe(time.perf_counter() - it_t0)
+                m_energy.set(float(np.dot(self.occ, energies)))
 
         # final Rayleigh-Ritz: report clean eigenvalues of the last
         # potential (the in-loop energies lag the post-line-step states)
@@ -351,7 +377,18 @@ class DistributedSCF:
         ``resume_from`` restarts mid-SCF from a committed checkpoint —
         written by any rank count: a snapshot from more ranks is
         redistributed onto this instance's (recompiled) layout.
+
+        When this SCF carries a live metrics registry and no explicit
+        transport is given, the default transport is built with the same
+        registry, so one run reports SCF, checkpoint, *and* transport
+        counters together.
         """
+        if transport is None and self.metrics.enabled:
+            from repro.transport.inproc import InprocTransport
+
+            transport = InprocTransport(
+                self.decomp.n_domains, metrics=self.metrics
+            )
         v_ext_blocks = scatter(self.v_ext, self.decomp, self.halo)
         if resume_from is None:
             rng = np.random.default_rng(self.seed)
@@ -457,6 +494,7 @@ class DistributedSCF:
             seed=self.seed,
             checkpoint_store=self.checkpoint_store,
             checkpoint_every=self.checkpoint_every,
+            metrics=self.metrics if self.metrics.enabled else None,
         )
 
     def run_with_recovery(

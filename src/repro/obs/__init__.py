@@ -1,0 +1,64 @@
+"""repro.obs — the unified telemetry plane.
+
+One metrics registry and one span schema shared by all three execution
+planes (real engine, DES simulation, analytic model), plus the exporters
+that turn any plane's trace into Chrome-tracing JSON, an ASCII Gantt, or
+the paper's compute/comm/sync utilization breakdown.  See
+``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.export import (
+    ascii_gantt,
+    chrome_trace,
+    diff_step_kinds,
+    format_diff,
+    format_metrics,
+    format_utilization,
+    parse_chrome_trace,
+    utilization_report,
+)
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    log_spaced_buckets,
+    resolve_registry,
+)
+from repro.obs.spans import (
+    COMM_STEPS,
+    COMPUTE_STEPS,
+    SYNC_STEPS,
+    SpanTracer,
+    StepSpan,
+    engine_hook,
+    step_category,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "log_spaced_buckets",
+    "resolve_registry",
+    "StepSpan",
+    "SpanTracer",
+    "engine_hook",
+    "step_category",
+    "COMM_STEPS",
+    "COMPUTE_STEPS",
+    "SYNC_STEPS",
+    "ascii_gantt",
+    "chrome_trace",
+    "parse_chrome_trace",
+    "utilization_report",
+    "format_utilization",
+    "diff_step_kinds",
+    "format_diff",
+    "format_metrics",
+]

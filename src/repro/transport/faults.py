@@ -133,6 +133,7 @@ class FaultPlan:
         delay: float = 0.01,
         retransmit_timeout: float = 1e-4,
         restart_time: float = 1.0,
+        metrics=None,
     ):
         for name in ("p_delay", "p_drop", "p_duplicate", "p_corrupt"):
             p = locals()[name]
@@ -152,6 +153,11 @@ class FaultPlan:
         self.delay = delay
         self.retransmit_timeout = retransmit_timeout
         self.restart_time = restart_time
+        from repro.obs.metrics import resolve_registry
+
+        #: injected faults also count into ``faults_injected_total{kind=}``
+        #: on this registry (the null registry by default)
+        self.metrics = resolve_registry(metrics)
         self._lock = threading.Lock()
         self._fired: set[tuple[int, int, str]] = set()
         self._op_counts: dict[int, int] = {}
@@ -172,6 +178,7 @@ class FaultPlan:
             delay=self.delay,
             retransmit_timeout=self.retransmit_timeout,
             restart_time=self.restart_time,
+            metrics=self.metrics if self.metrics.enabled else None,
         )
 
     # -- deterministic decisions ------------------------------------------
@@ -241,7 +248,8 @@ class FaultPlan:
             self._events.setdefault(rank, []).append(
                 FaultEvent(rank=rank, op_index=op_index, kind=kind, op=op)
             )
-            return True
+        self.metrics.counter("faults_injected_total", kind=kind).inc()
+        return True
 
     @property
     def events(self) -> tuple[FaultEvent, ...]:

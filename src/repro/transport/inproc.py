@@ -11,9 +11,10 @@ Design notes
 * **(source, tag) matching** with FIFO non-overtaking per (source, tag)
   pair, like MPI — receivers block on a condition variable until a match
   arrives.
-* **Instrumentation.**  The transport counts messages and bytes per rank;
-  tests use this to verify that e.g. batching really reduces the message
-  count by the batch factor.
+* **Instrumentation.**  The transport counts messages and bytes per rank
+  (:class:`TransportStats`, a view over :mod:`repro.obs.metrics`
+  counters when a registry is passed); tests use this to verify that
+  e.g. batching really reduces the message count by the batch factor.
 """
 
 from __future__ import annotations
@@ -82,12 +83,77 @@ class RecvHandle:
         return self._payload
 
 
-@dataclass
 class TransportStats:
-    """Per-rank message accounting."""
+    """Per-rank message accounting — a thin view over metrics counters.
 
-    messages: int = 0
-    bytes: int = 0
+    Historically a plain ``@dataclass`` of two ints, now backed by
+    :class:`repro.obs.metrics.Counter` so every transport reports through
+    the one registry.  Two modes:
+
+    * standalone (``TransportStats()``) — owns private counters; behaves
+      exactly like the old dataclass, including ``st.messages == 0``.
+    * registry-backed (``TransportStats(registry=reg, rank=r)``) — views
+      the shared ``transport_messages_total`` / ``transport_bytes_total``
+      counters labeled with the rank, so a registry snapshot and this
+      object report the *same* numbers (pinned by test).
+
+    Increment through :meth:`record_message`.  ``.messages``/``.bytes``
+    remain as **deprecated aliases**: readable, and assignable only
+    upward (``st.messages += 1`` still works; counters cannot decrease).
+    """
+
+    __slots__ = ("_messages", "_bytes")
+
+    def __init__(
+        self,
+        messages: int = 0,
+        bytes: int = 0,
+        registry=None,
+        rank: Optional[int] = None,
+    ):
+        from repro.obs.metrics import Counter
+
+        if registry is not None:
+            labels = {} if rank is None else {"rank": rank}
+            self._messages = registry.counter("transport_messages_total", **labels)
+            self._bytes = registry.counter("transport_bytes_total", **labels)
+        else:
+            self._messages = Counter("transport_messages_total")
+            self._bytes = Counter("transport_bytes_total")
+        if messages:
+            self._messages.inc(messages)
+        if bytes:
+            self._bytes.inc(bytes)
+
+    def record_message(self, nbytes: int) -> None:
+        """Account one sent message of ``nbytes`` payload bytes."""
+        self._messages.inc(1)
+        self._bytes.inc(nbytes)
+
+    # -- deprecated attribute API (pre-registry dataclass shape) ----------
+    @property
+    def messages(self) -> int:
+        return int(self._messages.value)
+
+    @messages.setter
+    def messages(self, value: int) -> None:
+        self._messages.inc(value - self._messages.value)
+
+    @property
+    def bytes(self) -> int:
+        return int(self._bytes.value)
+
+    @bytes.setter
+    def bytes(self, value: int) -> None:
+        self._bytes.inc(value - self._bytes.value)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, TransportStats):
+            return (self.messages, self.bytes) == (other.messages, other.bytes)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"TransportStats(messages={self.messages}, bytes={self.bytes})"
 
 
 class AttributableBarrier:
@@ -158,15 +224,25 @@ class InprocTransport:
     loudly with :class:`TransportError` instead of hanging the test run.
     """
 
-    def __init__(self, size: int, default_timeout: float = _DEFAULT_TIMEOUT):
+    def __init__(
+        self,
+        size: int,
+        default_timeout: float = _DEFAULT_TIMEOUT,
+        metrics=None,
+    ):
         check_positive_int(size, "size")
         if not default_timeout > 0:
             raise ValueError(f"default_timeout must be > 0, got {default_timeout}")
         self.size = size
         self.default_timeout = default_timeout
+        #: optional repro.obs.metrics.MetricsRegistry; when given, per-rank
+        #: stats are views over its transport_{messages,bytes}_total counters
+        self.metrics = metrics
         self._boxes: list[list[_Mail]] = [[] for _ in range(size)]
         self._conds = [threading.Condition() for _ in range(size)]
-        self.stats = [TransportStats() for _ in range(size)]
+        self.stats = [
+            TransportStats(registry=metrics, rank=r) for r in range(size)
+        ]
         self._barrier = AttributableBarrier(size)
 
     def endpoint(self, rank: int) -> "RankEndpoint":
@@ -229,9 +305,7 @@ class RankEndpoint:
         with cond:
             tr._boxes[dst].append(_Mail(src=self.rank, tag=tag, payload=data))
             cond.notify_all()
-        st = tr.stats[self.rank]
-        st.messages += 1
-        st.bytes += data.nbytes
+        tr.stats[self.rank].record_message(data.nbytes)
         return SendHandle(nbytes=data.nbytes)
 
     def send(self, dst: int, payload: np.ndarray, tag: int = 0) -> None:

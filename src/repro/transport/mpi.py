@@ -140,14 +140,16 @@ class MpiEndpoint:
     #: message buffers immediately after posting.
     zero_copy_sends = False
 
-    def __init__(self, comm: Any = None):
+    def __init__(self, comm: Any = None, metrics=None):
         MPI = _require_mpi()
         self._MPI = MPI
         self.comm = comm if comm is not None else MPI.COMM_WORLD
         self.rank = self.comm.Get_rank()
         #: local message accounting, same shape as the inproc transport's
-        #: per-rank stats — lets instrumentation code run unchanged.
-        self.stats = TransportStats()
+        #: per-rank stats — a thin view over the shared metrics registry
+        #: when one is passed (the old ``.messages``/``.bytes`` attribute
+        #: API survives as deprecated aliases on TransportStats).
+        self.stats = TransportStats(registry=metrics, rank=self.rank)
 
     @property
     def size(self) -> int:
@@ -164,8 +166,7 @@ class MpiEndpoint:
         # only changes whether a contiguous staging copy may be skipped.
         data = payload if not copy else np.ascontiguousarray(payload)
         req = self.comm.isend(data, dest=dst, tag=tag)
-        self.stats.messages += 1
-        self.stats.bytes += data.nbytes
+        self.stats.record_message(data.nbytes)
         return MpiSendHandle(req, data.nbytes)
 
     def send(self, dst: int, payload: np.ndarray, tag: int = 0) -> None:
@@ -173,8 +174,7 @@ class MpiEndpoint:
         tag = validate_tag(tag)
         data = np.ascontiguousarray(payload)
         self.comm.send(data, dest=dst, tag=tag)
-        self.stats.messages += 1
-        self.stats.bytes += data.nbytes
+        self.stats.record_message(data.nbytes)
 
     def irecv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> MpiRecvHandle:
         MPI = self._MPI

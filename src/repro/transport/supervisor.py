@@ -106,6 +106,7 @@ def run_ranks_supervised(
     policy: Optional[RetryPolicy] = None,
     tracer: Optional[Any] = None,
     on_crash: Optional[Callable[[CrashReport], None]] = None,
+    metrics=None,
 ) -> SupervisedResult:
     """Run ``fn`` on ``size`` ranks under a retry supervisor.
 
@@ -117,8 +118,15 @@ def run_ranks_supervised(
     :class:`CrashReport` is collected (and appended to ``tracer`` as a
     zero-length span, so a Gantt chart shows where the run crashed), and
     the final failure is re-raised with ``.crash_report`` attached.
+
+    ``metrics`` (a :class:`repro.obs.metrics.MetricsRegistry`) counts
+    crashes per error type and retries, and observes each backoff sleep
+    into the ``supervisor_backoff_seconds`` histogram.
     """
+    from repro.obs.metrics import resolve_registry
+
     policy = policy if policy is not None else RetryPolicy()
+    registry = resolve_registry(metrics)
 
     def make_transport(attempt: int) -> Any:
         if transport_factory is not None:
@@ -141,6 +149,9 @@ def run_ranks_supervised(
             fault_events = plan.events if plan is not None else ()
             report = _report_from(exc, attempt + 1, fault_events)
             reports.append(report)
+            registry.counter(
+                "supervisor_crashes_total", error=report.error_type
+            ).inc()
             if tracer is not None:
                 tracer.record(
                     f"supervisor.rank{report.failed_rank}",
@@ -151,7 +162,10 @@ def run_ranks_supervised(
             if on_crash is not None:
                 on_crash(report)
             if is_transient(exc) and attempt < policy.max_retries:
-                time.sleep(policy.backoff(attempt))
+                backoff = policy.backoff(attempt)
+                registry.counter("supervisor_retries_total").inc()
+                registry.histogram("supervisor_backoff_seconds").observe(backoff)
+                time.sleep(backoff)
                 attempt += 1
                 continue
             exc.crash_report = report

@@ -20,6 +20,30 @@ class TestSpan:
         a, b = Span(2.0, 3.0, "x"), Span(1.0, 5.0, "y")
         assert sorted([a, b]) == [b, a]
 
+    def test_ordering_ignores_resource_and_label(self):
+        """The documented pitfall: only ``(start, end)`` participate.
+
+        Spans on *different* resources with the same interval compare
+        equal, so ``sorted`` keeps their insertion order (stable sort)
+        and ``insort`` ties go to arrival order.  Exporters needing a
+        deterministic total order must add their own tie-breakers —
+        ``repro.obs`` does.
+        """
+        a = Span(1.0, 2.0, "zulu", label="later")
+        b = Span(1.0, 2.0, "alpha", label="earlier")
+        assert not a < b and not b < a  # a tie, despite different fields
+        assert a == b  # compare=False drops them from __eq__ too!
+        # (which makes list equality vacuous here — check identities)
+        assert sorted([a, b])[0] is a
+        assert sorted([b, a])[0] is b  # insertion order decides
+
+    def test_insort_keeps_tied_spans_in_arrival_order(self):
+        tr = Tracer()
+        tr.record("zulu", 1.0, 2.0, "first-recorded")
+        tr.record("alpha", 1.0, 2.0, "second-recorded")
+        labels = [s.label for s in tr.spans()]
+        assert labels == ["first-recorded", "second-recorded"]
+
 
 class TestTracer:
     def test_record_and_query(self):

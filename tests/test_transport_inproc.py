@@ -143,6 +143,46 @@ class TestBasics:
         assert tr.stats[0].bytes == 800
         assert tr.stats[1].messages == 0
 
+    def test_stats_and_registry_are_the_same_counters(self):
+        """TransportStats is a *view* over the registry, not a copy.
+
+        The deprecated attribute API (``stats[r].messages``) and the
+        registry counters (``transport_messages_total{rank=r}``) must
+        report identical numbers because they are the same instrument.
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        tr = InprocTransport(2, metrics=reg)
+
+        def fn(ep):
+            if ep.rank == 0:
+                ep.send(1, np.zeros(50), tag=0)  # 400 bytes
+            else:
+                ep.recv(src=0, tag=0)
+
+        run_ranks(2, fn, transport=tr)
+        assert tr.stats[0].messages == 1
+        assert tr.stats[0].bytes == 400
+        assert reg.value("transport_messages_total", rank=0) == 1
+        assert reg.value("transport_bytes_total", rank=0) == 400
+        assert reg.value("transport_messages_total", rank=1) == 0
+        # shared identity: bumping the registry counter is visible
+        # through the stats view immediately
+        reg.counter("transport_messages_total", rank=0).inc()
+        assert tr.stats[0].messages == 2
+
+    def test_stats_deprecated_attribute_api(self):
+        from repro.transport.inproc import TransportStats
+
+        st = TransportStats()
+        st.record_message(64)
+        assert (st.messages, st.bytes) == (1, 64)
+        st.messages += 2  # old dataclass-style mutation still works
+        st.bytes += 100
+        assert st == TransportStats(messages=3, bytes=164)
+        assert "messages=3" in repr(st)
+
     def test_endpoint_bounds(self):
         tr = InprocTransport(2)
         with pytest.raises(ValueError):

@@ -184,6 +184,68 @@ def measure_plan_cache(n=32, n_grids=16, iterations=10, repeats=3):
     }
 
 
+def measure_telemetry(n=32, n_grids=8, iterations=10, repeats=5,
+                      batch_size=4):
+    """Telemetry overhead gate: instrumented vs no-op-registry hot loop.
+
+    Runs the same batched-stencil apply loop twice — once with telemetry
+    fully enabled (a live :class:`MetricsRegistry` on the transport and a
+    per-step :func:`engine_hook` span recorder) and once against the
+    shared ``NULL_REGISTRY`` with no hook (the disabled path every
+    instrumented module takes by default).  The acceptance bar for the
+    observability PR is ``overhead_pct < 3`` on the full run; ``--smoke``
+    only gates a loose sanity bound (timer noise on shared CI runners
+    dwarfs 3% at smoke sizes).
+    """
+    from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+    from repro.obs.spans import SpanTracer, engine_hook
+
+    gd = GridDescriptor((n, n, n))
+    decomp = Decomposition(gd, 1)
+    coeffs = laplacian_coefficients(2, spacing=gd.spacing)
+    engine = DistributedStencil(decomp, coeffs)
+    halo = HaloSpec(2)
+    blocks = {g: scatter(gd.random(seed=g), decomp, halo)[0]
+              for g in range(n_grids)}
+    ep_off = InprocTransport(1, metrics=NULL_REGISTRY).endpoint(0)
+    ep_on = InprocTransport(1, metrics=MetricsRegistry()).endpoint(0)
+
+    def run_disabled():
+        for _ in range(iterations):
+            engine.apply(ep_off, blocks, approach=FLAT_OPTIMIZED,
+                         batch_size=batch_size)
+
+    def run_enabled():
+        hook = engine_hook(SpanTracer(plane="real"), 0)
+        for _ in range(iterations):
+            engine.apply(ep_on, blocks, approach=FLAT_OPTIMIZED,
+                         batch_size=batch_size, on_step=hook)
+
+    run_disabled()  # warm buffers, kernels and the plan cache
+    run_enabled()
+
+    def best_seconds(fn):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    disabled = best_seconds(run_disabled)
+    enabled = best_seconds(run_enabled)
+    overhead = enabled / disabled - 1.0
+    return {
+        "block": [n, n, n],
+        "n_grids": n_grids,
+        "iterations": iterations,
+        "repeats": repeats,
+        "disabled_ms": round(disabled * 1e3, 3),
+        "enabled_ms": round(enabled * 1e3, 3),
+        "overhead_pct": round(overhead * 100, 2),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
@@ -197,9 +259,11 @@ def main(argv=None) -> int:
     if args.smoke:
         result = measure(n=16, batch=4, repeats=2)
         result["plan_cache"] = measure_plan_cache(n=16, n_grids=4, repeats=2)
+        result["telemetry"] = measure_telemetry(n=16, n_grids=4, repeats=3)
     else:
         result = measure()
         result["plan_cache"] = measure_plan_cache()
+        result["telemetry"] = measure_telemetry()
     result["mode"] = "smoke" if args.smoke else "full"
     result["host"] = {
         "machine": platform.machine(),
@@ -221,6 +285,10 @@ def main(argv=None) -> int:
           f"iterations {pc['uncached_apply_ms']:.1f} ms uncached vs "
           f"{pc['cached_apply_ms']:.1f} ms cached "
           f"({pc['cached_speedup']:.2f}x)")
+    tel = result["telemetry"]
+    print(f"  telemetry: {tel['disabled_ms']:.2f} ms disabled vs "
+          f"{tel['enabled_ms']:.2f} ms enabled "
+          f"({tel['overhead_pct']:+.2f}% overhead)")
 
     if not args.smoke and result["batched_speedup"] < 1.5:
         print("FAIL: batched speedup below the 1.5x acceptance bar",
@@ -229,6 +297,12 @@ def main(argv=None) -> int:
     if not pc["cached_not_slower"]:
         print("FAIL: cached apply slower than pre-refactor "
               "(recompile-every-call) apply", file=sys.stderr)
+        return 1
+    telemetry_bar = 50.0 if args.smoke else 3.0
+    if tel["overhead_pct"] >= telemetry_bar:
+        print(f"FAIL: enabled telemetry costs {tel['overhead_pct']:.2f}% "
+              f"on the hot loop (bar: <{telemetry_bar:.0f}%)",
+              file=sys.stderr)
         return 1
     return 0
 
