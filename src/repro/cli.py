@@ -185,6 +185,38 @@ def _cmd_validate(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_bandpar(args: argparse.Namespace) -> str:
+    """Band-group sweep of the modeled FD + ring-orthogonalization step."""
+    from repro.core.bandpar import BandParallelModel
+
+    model = BandParallelModel()
+    job = FDJob(GridDescriptor(tuple(args.shape)), args.bands)
+    timings = model.sweep(job, args.cores, max_groups=args.max_groups)
+    rows = [
+        [
+            t.n_band_groups,
+            f"{t.fd * 1e3:.3f}",
+            f"{t.subspace_compute * 1e3:.3f}",
+            f"{t.subspace_ring_comm * 1e3:.3f}",
+            f"{t.total * 1e3:.3f}",
+        ]
+        for t in timings
+    ]
+    table = format_table(
+        ["band groups", "FD ms", "GEMM ms", "ring ms", "step ms"],
+        rows,
+        title=(
+            f"2D grid x band decomposition — {args.bands} bands of "
+            f"{'x'.join(str(s) for s in args.shape)} on {args.cores} cores"
+        ),
+    )
+    best = min(timings, key=lambda t: t.total)
+    return table + (
+        f"\nmodeled best nb = {best.n_band_groups} at {args.cores} cores "
+        f"({best.total * 1e3:.3f} ms per step)"
+    )
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> str:
     """Re-run the calibration grid fit against the paper anchors."""
     from repro.analysis.calibration import anchor_error, fit_compute_knobs
@@ -393,6 +425,14 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument("--cores", type=int, default=32)
     sub.add_parser("report", help="all experiments in one run")
     sub.add_parser("calibrate", help="re-fit the compute knobs to the anchors")
+    pb = sub.add_parser(
+        "bandpar", help="band-group sweep of the 2D grid x band model"
+    )
+    pb.add_argument("--cores", type=int, default=16384)
+    pb.add_argument("--bands", type=int, default=2816)
+    pb.add_argument("--shape", type=int, nargs=3, default=[192, 192, 192],
+                    metavar=("NX", "NY", "NZ"))
+    pb.add_argument("--max-groups", type=int, default=8)
     ps = sub.add_parser(
         "schedule", help="print the compiled schedule IR for an approach"
     )
@@ -475,6 +515,7 @@ _COMMANDS = {
     "ablation": _cmd_ablation,
     "wholeapp": _cmd_wholeapp,
     "validate": _cmd_validate,
+    "bandpar": _cmd_bandpar,
     "report": _cmd_report,
     "calibrate": _cmd_calibrate,
     "schedule": _cmd_schedule,

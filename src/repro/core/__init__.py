@@ -32,19 +32,25 @@ from repro.core.approaches import (
     ALL_APPROACHES,
     approach_by_name,
 )
+from repro.core.bandpar import BandParallelModel, BandParTiming
 from repro.core.batching import batch_schedule
 from repro.core.schedule import (
+    BandSchedulePlan,
+    PartialGemm,
+    RingSendRecv,
     SchedulePlan,
     clear_plan_cache,
+    compile_band_schedule,
     compile_schedule,
     plan_cache_stats,
+    ring_tag,
     timing_plane_workers,
     tracer_hook,
 )
 from repro.core.engine import DistributedStencil, SequentialStencil
 from repro.core.workspace import Workspace
 from repro.core.perfmodel import FDJob, PerformanceModel, FDTiming
-from repro.core.simrun import simulate_fd
+from repro.core.simrun import simulate_band_plan, simulate_band_step, simulate_fd
 from repro.core.wholeapp import ScfPhaseTimes, WholeAppModel
 from repro.core.memory import (
     fd_memory_per_rank,
@@ -61,11 +67,18 @@ __all__ = [
     "HYBRID_MASTER_ONLY",
     "ALL_APPROACHES",
     "approach_by_name",
+    "BandParallelModel",
+    "BandParTiming",
+    "BandSchedulePlan",
     "batch_schedule",
+    "PartialGemm",
+    "RingSendRecv",
     "SchedulePlan",
     "clear_plan_cache",
+    "compile_band_schedule",
     "compile_schedule",
     "plan_cache_stats",
+    "ring_tag",
     "timing_plane_workers",
     "tracer_hook",
     "DistributedStencil",
@@ -74,6 +87,8 @@ __all__ = [
     "FDJob",
     "PerformanceModel",
     "FDTiming",
+    "simulate_band_plan",
+    "simulate_band_step",
     "simulate_fd",
     "ScfPhaseTimes",
     "WholeAppModel",

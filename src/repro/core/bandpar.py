@@ -9,18 +9,23 @@ escape (which GPAW later implemented) is to split the ranks into ``nb``
 FD communication drops, and only the orthogonalization has to talk across
 band groups (a ring pass of band blocks through the torus).
 
-This module models one SCF-relevant step under band parallelization,
-reusing the calibrated FD model:
+This module is the analytic plane of that escape.  It no longer costs a
+closed-form expression: it compiles the same
+:class:`repro.core.schedule.BandSchedulePlan` the functional engine and
+the DES replay execute, walks its :class:`PartialGemm` /
+:class:`RingSendRecv` steps, and prices them on the calibrated machine.
+The cross-plane test pins this walk against
+:func:`repro.core.simrun.simulate_band_plan` to <= 5%.
 
 * **FD step** — ``G/nb`` grids on ``P/nb`` cores per group (groups run
   concurrently), hybrid-multiple schedule.
-* **Subspace step** — the overlap/rotation GEMMs (same total flops per
-  core as before) plus the ring exchange: ``nb - 1`` stages, each moving
-  every rank's local band block to a ring neighbour while the partial
-  GEMM computes (overlappable).
+* **Subspace step** — the plan's two ring passes (overlap matrix +
+  rotation): per stage a blocked GEMM on the held band block while the
+  ring exchange ships blocks to the next group (overlappable).
 
 ``nb = 1`` reduces exactly to the paper's hybrid-multiple setup, which
-tests assert.
+tests assert — including plan identity: ``fd_plan(..., 1)`` *is* the
+hybrid-multiple compiled plan.
 """
 
 from __future__ import annotations
@@ -29,10 +34,20 @@ from dataclasses import dataclass
 
 from repro.core.approaches import HYBRID_MULTIPLE
 from repro.core.perfmodel import FDJob, PerformanceModel
+from repro.core.schedule import (
+    BandSchedulePlan,
+    PartialGemm,
+    RingSendRecv,
+    SchedulePlan,
+    compile_band_schedule,
+    compile_schedule,
+    timing_plane_workers,
+)
 from repro.core.wholeapp import WholeAppModel
+from repro.grid.bandgroups import BandGroups
 from repro.grid.decompose import Decomposition
 from repro.machine.spec import BGP_SPEC, MachineSpec
-from repro.util.validation import check_positive_int
+from repro.util.validation import check_divisible, check_positive_int
 
 
 @dataclass(frozen=True)
@@ -61,41 +76,92 @@ class BandParallelModel:
         self.spec = spec
         self.fd_model = PerformanceModel(spec)
 
-    def evaluate(self, job: FDJob, n_cores: int, n_band_groups: int) -> BandParTiming:
-        """Timing of one FD+subspace step with ``n_band_groups`` groups."""
+    # -- layout / plan construction (shared with the other planes) ---------
+    def _validate(self, job: FDJob, n_cores: int, n_band_groups: int) -> int:
         check_positive_int(n_cores, "n_cores")
         nb = check_positive_int(n_band_groups, "n_band_groups")
-        if job.n_grids % nb:
-            raise ValueError(
-                f"{nb} band groups cannot evenly hold {job.n_grids} grids"
-            )
-        if n_cores % (4 * nb):
-            raise ValueError(
-                f"{nb} band groups need n_cores divisible by {4 * nb}, "
-                f"got {n_cores}"
-            )
+        check_divisible(job.n_grids, nb, "job.n_grids", "band groups")
+        check_divisible(
+            n_cores, 4 * nb, "n_cores", f"4 cores/node x {nb} band groups"
+        )
+        return nb
+
+    def layout(self, job: FDJob, n_cores: int, n_band_groups: int) -> BandGroups:
+        """The 2D grid x band layout of one configuration."""
+        nb = self._validate(job, n_cores, n_band_groups)
+        return BandGroups(n_ranks=n_cores, n_bands=job.n_grids, n_groups=nb)
+
+    def fd_plan(
+        self, job: FDJob, n_cores: int, n_band_groups: int
+    ) -> SchedulePlan:
+        """The compiled FD plan one band group runs (hybrid multiple).
+
+        With one band group this is *literally* today's hybrid-multiple
+        plan — same cache key, same object — which the plan-identity test
+        asserts.
+        """
+        nb = self._validate(job, n_cores, n_band_groups)
+        group_cores = n_cores // nb
+        group_job = FDJob(job.grid, job.n_grids // nb)
+        timing = self.fd_model.best_batch_size(
+            group_job, HYBRID_MULTIPLE, group_cores
+        )
+        decomp = Decomposition(
+            job.grid, HYBRID_MULTIPLE.domains_for(group_cores)
+        )
+        return compile_schedule(
+            HYBRID_MULTIPLE,
+            decomp,
+            group_job.n_grids,
+            timing.batch_size,
+            n_workers=timing_plane_workers(HYBRID_MULTIPLE, group_cores),
+        )
+
+    def band_plan(
+        self, job: FDJob, n_cores: int, n_band_groups: int
+    ) -> BandSchedulePlan:
+        """The compiled ring-orthogonalization plan (all planes run it)."""
+        nb = self._validate(job, n_cores, n_band_groups)
+        layout = BandGroups(n_ranks=n_cores, n_bands=job.n_grids, n_groups=nb)
+        # GEMM inner dimension per core: each core's share of the grid
+        # points, times nb because the 2D layout gives every core nb x
+        # more points of each wave function it holds
+        gemm_points = max(1, round(job.grid.n_points * nb / n_cores))
+        # ring payload: one domain's block of the group's band set
+        group_cores = n_cores // nb
+        decomp = Decomposition(
+            job.grid, HYBRID_MULTIPLE.domains_for(group_cores)
+        )
+        return compile_band_schedule(
+            layout,
+            gemm_points,
+            decomp.max_block_points(),
+            job.grid.bytes_per_point,
+        )
+
+    # -- evaluation ---------------------------------------------------------
+    def evaluate(self, job: FDJob, n_cores: int, n_band_groups: int) -> BandParTiming:
+        """Timing of one FD+subspace step with ``n_band_groups`` groups.
+
+        Walks the compiled band plan step by step: every
+        :class:`PartialGemm` is priced at the node's GEMM rate, every
+        :class:`RingSendRecv` at the torus link (one hop to the
+        neighbouring group's partition).
+        """
+        nb = self._validate(job, n_cores, n_band_groups)
         group_cores = n_cores // nb
         group_job = FDJob(job.grid, job.n_grids // nb)
         fd = self.fd_model.best_batch_size(group_job, HYBRID_MULTIPLE, group_cores)
 
-        # subspace GEMMs: total flops unchanged (S is still G x G over the
-        # full band set; every core touches its share)
-        g = job.n_grids
-        p = job.grid.n_points / n_cores
-        flops = 2 * 2 * g * g * p
+        plan = self.band_plan(job, n_cores, n_band_groups)
         rate = self.spec.node.core.peak_flops * WholeAppModel.GEMM_EFFICIENCY
-        compute = flops / rate
-
-        # ring pass: nb-1 stages; per stage every node ships its local
-        # band block (G/nb grids x node block points) to a ring neighbour
-        decomp = Decomposition(job.grid, HYBRID_MULTIPLE.domains_for(group_cores))
-        block_bytes = (
-            decomp.max_block_points()
-            * (job.n_grids // nb)
-            * job.grid.bytes_per_point
-        )
-        per_stage = self.spec.torus.message_time(block_bytes, hops=1)
-        ring = (nb - 1) * per_stage
+        compute = 0.0
+        ring = 0.0
+        for st in plan.group_steps(0):
+            if isinstance(st, PartialGemm):
+                compute += st.flops / rate
+            elif isinstance(st, RingSendRecv):
+                ring += self.spec.torus.message_time(st.nbytes, hops=1)
 
         return BandParTiming(
             n_band_groups=nb,

@@ -60,6 +60,7 @@ from typing import Callable, Optional, Union
 
 from repro.core.approaches import Approach
 from repro.core.batching import batch_schedule, split_among_workers
+from repro.grid.bandgroups import BandGroups
 from repro.grid.decompose import Decomposition
 from repro.util.validation import check_positive_int
 
@@ -164,6 +165,54 @@ class JoinBarrier:
     worker: int
 
 
+#: band-ring tags live above checkpoint traffic and below collectives
+#: (mirrored by ``repro.transport.errors.RING_TAG_BASE``, which cannot
+#: import this module; a consistency test pins the two together)
+RING_TAG_BASE = 1 << 27
+
+
+def ring_tag(phase: int, stage: int) -> int:
+    """The wire tag of one orthogonalization ring stage."""
+    return RING_TAG_BASE + (phase << 12) + stage
+
+
+@dataclass(frozen=True)
+class RingSendRecv:
+    """Post one ring stage of the band orthogonalization: start the
+    non-blocking send of the currently held band block to the next
+    group's same-domain peer, and post the receive from the previous
+    group's peer.  Both overlap the :class:`PartialGemm` that follows;
+    the matching :class:`WaitAll` completes the stage."""
+
+    seq: int  # the stage this exchange delivers (1 .. nb-1)
+    phase: int  # 0 = overlap-matrix pass, 1 = rotation pass
+    dst_group: int
+    src_group: int
+    nbytes: int
+
+    @property
+    def tag(self) -> int:
+        return ring_tag(self.phase, self.seq)
+
+
+@dataclass(frozen=True)
+class PartialGemm:
+    """One blocked GEMM tile against the band block currently held:
+    an ``m x k @ k x n`` product building one strip of the overlap
+    matrix (phase 0) or accumulating one rotation term (phase 1)."""
+
+    seq: int  # stage 0 .. nb-1
+    phase: int
+    src_group: int  # whose bands the held block carries at this stage
+    m: int
+    n: int
+    k: int
+
+    @property
+    def flops(self) -> float:
+        return 2.0 * self.m * self.n * self.k
+
+
 Step = Union[
     PostSend,
     PostRecv,
@@ -173,6 +222,8 @@ Step = Union[
     ComputeInterior,
     GridBarrier,
     JoinBarrier,
+    RingSendRecv,
+    PartialGemm,
 ]
 
 
@@ -499,6 +550,17 @@ def _format_step(st: Step) -> str:
         return f"GridBarrier       grid {st.grid_id}"
     if isinstance(st, JoinBarrier):
         return f"JoinBarrier       worker {st.worker}"
+    if isinstance(st, RingSendRecv):
+        return (
+            f"RingSendRecv stage {st.seq:<2d} phase {st.phase} "
+            f"-> group {st.dst_group} <- group {st.src_group}  {st.nbytes} B"
+        )
+    if isinstance(st, PartialGemm):
+        return (
+            f"PartialGemm  stage {st.seq:<2d} phase {st.phase} "
+            f"bands of group {st.src_group}  "
+            f"{st.m}x{st.k} @ {st.k}x{st.n}"
+        )
     return repr(st)
 
 
@@ -615,6 +677,148 @@ def compile_schedule(
     plan = SchedulePlan(
         approach, decomp, n_grids, batch_size, ramp_up, halo_width, resolved
     )
+    if use_cache:
+        _PLAN_CACHE.put(key, plan)
+    return plan
+
+
+# -- the band-parallel orthogonalization plan ---------------------------------
+#: phase indices of the two ring passes every band plan contains
+OVERLAP_PHASE = 0
+ROTATE_PHASE = 1
+
+
+class BandSchedulePlan:
+    """The compiled ring-orthogonalization plan of one band layout.
+
+    Two passes run back to back, each a full trip of band blocks around
+    the group ring: the **overlap** pass builds this group's strips of
+    the G x G overlap (or Hamiltonian) matrix, the **rotate** pass
+    accumulates the rotated states.  Per stage the plan posts the ring
+    exchange first (:class:`RingSendRecv`), runs the
+    :class:`PartialGemm` on the block it already holds, then completes
+    the receive (:class:`WaitAll`) — the exchange rides under the GEMM,
+    which is the whole point of the ring formulation.
+
+    ``nb = 1`` degenerates to one :class:`PartialGemm` per phase and no
+    ring traffic at all.
+
+    The step sequence depends only on the rank's *group*; ``gemm_points``
+    (the per-worker GEMM inner dimension) and ``ring_points`` (the
+    per-domain block points shipped per stage) size the steps without
+    changing their order, so all three planes walk identical sequences.
+    """
+
+    def __init__(
+        self,
+        layout: BandGroups,
+        gemm_points: int,
+        ring_points: int,
+        bytes_per_point: int = 8,
+    ):
+        self.layout = layout
+        self.gemm_points = check_positive_int(gemm_points, "gemm_points")
+        self.ring_points = check_positive_int(ring_points, "ring_points")
+        self.bytes_per_point = check_positive_int(
+            bytes_per_point, "bytes_per_point"
+        )
+        self._phase_steps: dict[tuple[int, int], tuple[Step, ...]] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def n_groups(self) -> int:
+        return self.layout.n_groups
+
+    @property
+    def stage_nbytes(self) -> int:
+        """Bytes one rank ships per ring stage (its held band block)."""
+        return (
+            self.layout.bands_per_group
+            * self.ring_points
+            * self.bytes_per_point
+        )
+
+    def phase_steps(self, group: int, phase: int) -> tuple[Step, ...]:
+        """One phase's step list for any rank in ``group``.
+
+        The functional executor runs the overlap phase per matrix build
+        and the rotate phase per rotation, so it pulls them separately;
+        the DES replay and the model walk :meth:`group_steps`.
+        """
+        with self._lock:
+            steps = self._phase_steps.get((group, phase))
+            if steps is None:
+                steps = self._emit_phase(group, phase)
+                self._phase_steps[(group, phase)] = steps
+            return steps
+
+    def group_steps(self, group: int) -> tuple[Step, ...]:
+        """The full two-phase step list of any rank in ``group``."""
+        return self.phase_steps(group, OVERLAP_PHASE) + self.phase_steps(
+            group, ROTATE_PHASE
+        )
+
+    def rank_steps(self, rank: int) -> tuple[Step, ...]:
+        """The step list of one global rank (same for all its domains)."""
+        return self.group_steps(self.layout.group_of(rank))
+
+    def _emit_phase(self, group: int, phase: int) -> tuple[Step, ...]:
+        lay = self.layout
+        nb = lay.n_groups
+        m = lay.bands_per_group
+        steps: list[Step] = []
+        for stage in range(nb):
+            if stage < nb - 1:
+                steps.append(
+                    RingSendRecv(
+                        seq=stage + 1,
+                        phase=phase,
+                        dst_group=lay.ring_send_group(group),
+                        src_group=lay.ring_recv_group(group),
+                        nbytes=self.stage_nbytes,
+                    )
+                )
+            steps.append(
+                PartialGemm(
+                    seq=stage,
+                    phase=phase,
+                    src_group=(group - stage) % nb,
+                    m=m,
+                    n=m,
+                    k=self.gemm_points,
+                )
+            )
+            if stage < nb - 1:
+                steps.append(WaitAll(seq=stage + 1, grid_ids=()))
+        return tuple(steps)
+
+    def describe(self, group: int = 0) -> str:
+        """Human-readable step dump of one group (CLI, debugging)."""
+        lines = [
+            f"band plan: {self.layout.describe()}, "
+            f"gemm k={self.gemm_points}, "
+            f"{self.stage_nbytes} B/ring stage",
+        ]
+        for i, st in enumerate(self.group_steps(group)):
+            lines.append(f"  {i:3d}  {_format_step(st)}")
+        return "\n".join(lines)
+
+
+def compile_band_schedule(
+    layout: BandGroups,
+    gemm_points: int,
+    ring_points: int,
+    bytes_per_point: int = 8,
+    *,
+    use_cache: bool = True,
+) -> BandSchedulePlan:
+    """Compile (or fetch from cache) the ring-orthogonalization plan."""
+    key = ("band", layout, gemm_points, ring_points, bytes_per_point)
+    if use_cache:
+        plan = _PLAN_CACHE.get(key)
+        if plan is not None:
+            return plan
+    plan = BandSchedulePlan(layout, gemm_points, ring_points, bytes_per_point)
     if use_cache:
         _PLAN_CACHE.put(key, plan)
     return plan

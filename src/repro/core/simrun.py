@@ -33,12 +33,15 @@ from repro.core.approaches import Approach
 from repro.core.perfmodel import FDJob
 from repro.core.schedule import (
     ApplyLocalWraps,
+    BandSchedulePlan,
     ComputeBoundary,
     ComputeInterior,
     GridBarrier,
+    PartialGemm,
     PostRecv,
     PostSend,
     RankPlan,
+    RingSendRecv,
     WaitAll,
     WorkerPlan,
     compile_schedule,
@@ -440,3 +443,124 @@ def simulate_fd(
         job, approach, n_cores, batch_size, ramp_up, spec, placement, trace,
         fault_plan, step_tracer,
     ).run()
+
+
+# -- band-parallel replay -----------------------------------------------------
+@dataclass
+class BandSimResult:
+    """Outcome of one simulated band-orthogonalization (ring) pass."""
+
+    n_groups: int
+    total: float
+    messages: int
+    step_trace: Optional[SpanTracer] = None
+
+
+@dataclass
+class BandStepSimResult:
+    """One full simulated SCF-relevant step under band parallelization."""
+
+    n_groups: int
+    fd: float
+    subspace: float
+    total: float
+
+
+def simulate_band_plan(
+    plan: "BandSchedulePlan",
+    spec: MachineSpec = BGP_SPEC,
+    step_tracer: Optional[SpanTracer] = None,
+) -> BandSimResult:
+    """Replay one compiled :class:`BandSchedulePlan` on the DES machine.
+
+    The ring only talks *between* groups — every rank exchanges with the
+    same-domain peer of the neighbouring group and all domains of a group
+    progress in lockstep — so one representative rank per group (domain
+    0) reproduces the critical path: ``nb`` SMP nodes, each a DES process
+    walking its group's step list.  :class:`PartialGemm` steps occupy the
+    core at the calibrated GEMM rate; :class:`RingSendRecv` posts the
+    non-blocking pair that the following GEMM overlaps; ``WaitAll``
+    completes the stage.  This is the same step sequence the functional
+    executor interprets and the analytic model walks.
+    """
+    from repro.core.wholeapp import WholeAppModel
+
+    nb = plan.n_groups
+    machine = Machine(nb, NodeMode.SMP, spec)
+    comm = SimComm(machine)
+    rate = spec.node.core.peak_flops * WholeAppModel.GEMM_EFFICIENCY
+
+    def group_program(group: int) -> Proc:
+        ctx = comm.context(group)
+        # at most one ring stage is in flight at a time: the plan posts
+        # RingSendRecv, overlaps one PartialGemm, then WaitAll completes
+        pending: list = []
+        for st in plan.group_steps(group):
+            t0 = machine.sim.now
+            if isinstance(st, RingSendRecv):
+                yield from ctx.isend(st.dst_group, st.nbytes, tag=st.tag)
+                req = yield from ctx.irecv(src=st.src_group, tag=st.tag)
+                pending.append(req)
+            elif isinstance(st, PartialGemm):
+                yield from ctx.compute(st.flops / rate)
+            elif isinstance(st, WaitAll):
+                reqs, pending = pending, []
+                yield from ctx.waitall(reqs)
+            else:  # pragma: no cover - the compiler emits no other kinds
+                continue
+            if step_tracer is not None:
+                step_tracer.record_step(
+                    f"bg{group}.rank0.w0", st, 0, t0, machine.sim.now
+                )
+
+    for g in range(nb):
+        machine.sim.spawn(group_program(g), name=f"band-group-{g}")
+    total = machine.sim.run()
+    return BandSimResult(
+        n_groups=nb,
+        total=total,
+        messages=comm.messages_sent,
+        step_trace=step_tracer,
+    )
+
+
+def simulate_band_step(
+    job: FDJob,
+    n_cores: int,
+    n_band_groups: int,
+    spec: MachineSpec = BGP_SPEC,
+) -> BandStepSimResult:
+    """DES counterpart of :meth:`BandParallelModel.evaluate`.
+
+    Simulates one group's FD work (``G/nb`` grids on ``P/nb`` cores,
+    hybrid multiple, at the batch size the analytic model would pick)
+    plus the ring orthogonalization replay of the *same* compiled band
+    plan the model walks — the cross-plane agreement test pins the two
+    totals to <= 5%.
+    """
+    from repro.core.approaches import HYBRID_MULTIPLE
+    from repro.core.bandpar import BandParallelModel
+    from repro.core.wholeapp import WholeAppModel
+
+    model = BandParallelModel(spec)
+    layout = model.layout(job, n_cores, n_band_groups)
+    nb = layout.n_groups
+    group_cores = n_cores // nb
+    group_job = FDJob(job.grid, job.n_grids // nb)
+    fd_timing = model.fd_model.best_batch_size(
+        group_job, HYBRID_MULTIPLE, group_cores
+    )
+    fd = simulate_fd(
+        group_job,
+        HYBRID_MULTIPLE,
+        group_cores,
+        batch_size=fd_timing.batch_size,
+        spec=spec,
+    )
+    band = simulate_band_plan(model.band_plan(job, n_cores, nb), spec=spec)
+    return BandStepSimResult(
+        n_groups=nb,
+        fd=fd.total,
+        subspace=band.total,
+        total=fd.total * WholeAppModel.FD_APPLICATIONS_PER_SCF + band.total,
+    )

@@ -22,8 +22,12 @@ examples and integration tests:
 * :mod:`repro.dft.checkpoint` — atomic N-N checkpoint/restart of the
   distributed SCF, including shrink-to-fewer-ranks resume
   (docs/ROBUSTNESS.md).
+* :mod:`repro.dft.band_ortho` — the functional executor of the band-ring
+  orthogonalization plan (2D grid x band decomposition,
+  ``DistributedSCF(n_band_groups=...)``).
 """
 
+from repro.dft.band_ortho import BandRingExecutor, band_axis_sum
 from repro.dft.checkpoint import (
     FileCheckpointStore,
     MemoryCheckpointStore,
@@ -43,6 +47,8 @@ from repro.dft.distributed_scf import DistributedSCF, DistributedSCFResult
 from repro.dft.xc import lda_energy, lda_potential
 
 __all__ = [
+    "BandRingExecutor",
+    "band_axis_sum",
     "Laplacian",
     "Kinetic",
     "PoissonSolver",

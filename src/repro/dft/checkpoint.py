@@ -60,6 +60,10 @@ class SCFCheckpoint:
     shape: tuple[int, int, int]
     energies: np.ndarray
     blocks: dict[int, dict[str, np.ndarray]]
+    #: band groups of the run that wrote the snapshot; with ``nb > 1``
+    #: ``n_domains`` counts *all* ranks of the 2D grid x band layout and
+    #: each rank's ``states`` stack holds only its group's bands
+    n_band_groups: int = 1
 
     def field_blocks(self, name: str) -> dict[int, np.ndarray]:
         """Per-rank blocks of one field, e.g. ``field_blocks('v_h')``."""
@@ -176,6 +180,7 @@ class MemoryCheckpointStore(_DepositTelemetry):
         shape: tuple[int, int, int],
         energies: np.ndarray,
         fields: dict[str, np.ndarray],
+        n_band_groups: int = 1,
     ) -> bool:
         """Deposit one rank's blocks; True if this commits the snapshot."""
         _validate_payload(fields)
@@ -186,6 +191,7 @@ class MemoryCheckpointStore(_DepositTelemetry):
                 iteration,
                 {
                     "n_domains": n_domains,
+                    "n_band_groups": n_band_groups,
                     "shape": tuple(shape),
                     "energies": np.array(energies, copy=True),
                     "blocks": {},
@@ -196,6 +202,11 @@ class MemoryCheckpointStore(_DepositTelemetry):
                     f"iteration {iteration}: deposits disagree on rank count "
                     f"({slot['n_domains']} vs {n_domains})"
                 )
+            if slot["n_band_groups"] != n_band_groups:
+                raise ValueError(
+                    f"iteration {iteration}: deposits disagree on band "
+                    f"groups ({slot['n_band_groups']} vs {n_band_groups})"
+                )
             slot["blocks"][rank] = copied
             committed = len(slot["blocks"]) == n_domains
             if committed:
@@ -205,6 +216,7 @@ class MemoryCheckpointStore(_DepositTelemetry):
                     shape=slot["shape"],
                     energies=slot["energies"],
                     blocks=slot["blocks"],
+                    n_band_groups=slot["n_band_groups"],
                 )
                 del self._pending[iteration]
                 self._committed[iteration] = ckpt
@@ -279,6 +291,7 @@ class FileCheckpointStore(_DepositTelemetry):
         shape: tuple[int, int, int],
         energies: np.ndarray,
         fields: dict[str, np.ndarray],
+        n_band_groups: int = 1,
     ) -> bool:
         _validate_payload(fields)
         t0 = time.perf_counter()
@@ -294,6 +307,7 @@ class FileCheckpointStore(_DepositTelemetry):
                     "version": CHECKPOINT_VERSION,
                     "iteration": iteration,
                     "n_domains": n_domains,
+                    "n_band_groups": n_band_groups,
                     "shape": list(shape),
                     "energies": [float(e) for e in np.atleast_1d(energies)],
                 }
@@ -339,6 +353,7 @@ class FileCheckpointStore(_DepositTelemetry):
             shape=tuple(marker["shape"]),
             energies=np.asarray(marker["energies"]),
             blocks=blocks,
+            n_band_groups=marker.get("n_band_groups", 1),
         )
 
     def discard_pending(self) -> int:

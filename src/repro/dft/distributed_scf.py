@@ -18,6 +18,23 @@ introduction describes, executed end to end on the functional plane:
 
 The whole loop is deterministic and rank-count-invariant up to reduction
 round-off, so tests can pin it against the sequential SCF.
+
+``n_band_groups > 1`` switches the run to the 2D **grid x band**
+decomposition that breaks section IV's constraint: the ``P`` ranks split
+into ``nb`` groups, each owning ``G/nb`` wave functions on a
+``P/nb``-domain decomposition (:class:`repro.grid.bandgroups.BandGroups`
+maps ranks to ``(group, domain)``).  Halo traffic and the Poisson solve
+stay inside a group (over a :class:`~repro.transport.inproc
+.GroupEndpoint` window); the subspace steps execute the compiled
+:class:`~repro.core.schedule.BandSchedulePlan` through
+:class:`~repro.dft.band_ortho.BandRingExecutor` — blocked GEMMs on ring-
+circulated band blocks, the same plan the DES replay and the analytic
+:class:`~repro.core.bandpar.BandParallelModel` price.  Cross-group
+reductions are a global all-reduce of zero-padded band-matrix strips,
+a deterministic :func:`~repro.dft.band_ortho.band_axis_sum` for the
+density, and group-0-only contributions for scalar grid sums (every
+group holds the identical density, so one group speaks for all).
+``n_band_groups=1`` is bit-for-bit the 1D code path.
 """
 
 from __future__ import annotations
@@ -29,15 +46,19 @@ import numpy as np
 
 from repro.core.approaches import Approach, FLAT_OPTIMIZED
 from repro.core.engine import DistributedStencil
+from repro.core.schedule import compile_band_schedule
+from repro.core.workspace import Workspace
+from repro.dft.band_ortho import BandRingExecutor, band_axis_sum
 from repro.dft.checkpoint import SCFCheckpoint, redistribute_blocks
 from repro.dft.distributed import DistributedPoissonSolver
 from repro.grid.array import LocalGrid, gather, scatter
+from repro.grid.bandgroups import BandGroups
 from repro.grid.decompose import Decomposition
 from repro.grid.grid import GridDescriptor
 from repro.grid.halo import HaloSpec
 from repro.stencil.coefficients import laplacian_coefficients
 from repro.transport.errors import TransportError
-from repro.transport.inproc import RankEndpoint, run_ranks
+from repro.transport.inproc import GroupEndpoint, RankEndpoint, run_ranks
 
 
 @dataclass
@@ -63,6 +84,7 @@ class DistributedSCF:
         external_potential: np.ndarray,
         n_bands: int,
         n_ranks: int,
+        n_band_groups: int = 1,
         occupations: list[float] | None = None,
         mixing: float = 0.5,
         tolerance: float = 1e-4,
@@ -104,7 +126,13 @@ class DistributedSCF:
         #: null registry by default); rank 0 writes, the loop is SPMD
         self.metrics = resolve_registry(metrics)
 
-        self.decomp = Decomposition(grid, n_ranks)
+        # 2D layout: n_ranks split into n_band_groups groups, each with
+        # its own domain decomposition of the full grid.  BandGroups
+        # raises the typed divisibility errors (G % nb, P % nb).
+        self.layout = BandGroups(
+            n_ranks=n_ranks, n_bands=n_bands, n_groups=n_band_groups
+        )
+        self.decomp = Decomposition(grid, self.layout.ranks_per_group)
         self.halo = HaloSpec(2)
         lap = laplacian_coefficients(2, spacing=grid.spacing)
         # kinetic = -1/2 laplacian; the engine is operator-agnostic
@@ -112,10 +140,26 @@ class DistributedSCF:
         self.approach = approach
         # Compile the all-bands kinetic schedule once; every Hamiltonian
         # and preconditioner application across the SCF loop re-executes
-        # this plan via the cache instead of recompiling.
-        self.kinetic_plan = self.kinetic_engine.plan_for(approach, n_bands)
+        # this plan via the cache instead of recompiling.  Each group
+        # only stencils its own G/nb bands.
+        self.kinetic_plan = self.kinetic_engine.plan_for(
+            approach, self.layout.bands_per_group
+        )
         self.poisson = DistributedPoissonSolver(
-            grid, n_ranks, tolerance=1e-7, max_sweeps=20000, approach=approach
+            grid,
+            self.layout.ranks_per_group,
+            tolerance=1e-7,
+            max_sweeps=20000,
+            approach=approach,
+        )
+        # the ring-orthogonalization plan all three planes share; the
+        # sizes only parameterize the plan's cost metadata — the
+        # functional executor works on the actual block shapes
+        self.band_plan = compile_band_schedule(
+            self.layout,
+            self.decomp.max_block_points(),
+            self.decomp.max_block_points(),
+            grid.bytes_per_point,
         )
         self.h3 = grid.spacing ** 3
         # kinetic-preconditioner constants (mirror dft.rmm_diis)
@@ -161,44 +205,97 @@ class DistributedSCF:
     def _band_matrix(
         self,
         ep: RankEndpoint,
+        ring: BandRingExecutor,
         left: dict[int, np.ndarray],
         right: dict[int, np.ndarray],
     ) -> np.ndarray:
-        """Allreduced ``M[i, j] = <left_i | right_j>`` over the grid."""
+        """Allreduced ``M[i, j] = <left_i | right_j>`` over grid + bands.
+
+        ``left``/``right`` hold this rank's *own group's* band blocks
+        (keyed by global band id).  The ring executor produces the
+        group's row strip as blocked GEMMs overlapping the ring
+        exchange; the global all-reduce of the zero-padded matrix sums
+        the domains of each group and merges the strips of all groups.
+        """
+        bands = sorted(left)
+        lstack = np.stack([left[b].reshape(-1) for b in bands])
+        if right is left:
+            rstack = lstack
+        else:
+            rstack = np.stack([right[b].reshape(-1) for b in bands])
+        partial = ring.band_matrix(ep, lstack, rstack, self.h3)
         n = self.n_bands
-        partial = np.empty(n * n)
-        for i in range(n):
-            for j in range(n):
-                partial[i * n + j] = float(np.vdot(left[i], right[j]).real) * self.h3
-        return ep.allreduce(partial).reshape(n, n)
+        return ep.allreduce(partial.ravel()).reshape(n, n)
 
     def _lowdin_rotate(
-        self, ep: RankEndpoint, states: dict[int, LocalGrid]
+        self, ep: RankEndpoint, ring: BandRingExecutor,
+        states: dict[int, LocalGrid],
     ) -> None:
         """Löwdin-orthonormalize the band set in place (distributed)."""
         interiors = {b: states[b].interior for b in states}
-        s = self._band_matrix(ep, interiors, interiors)
+        s = self._band_matrix(ep, ring, interiors, interiors)
         evals, evecs = np.linalg.eigh(s)
         if evals.min() < 1e-12:
             raise ValueError("bands became linearly dependent")
         inv_sqrt = (evecs * (1.0 / np.sqrt(evals))) @ evecs.T
-        self._rotate(states, inv_sqrt)
+        self._rotate(ep, ring, states, inv_sqrt)
 
-    def _rotate(self, states: dict[int, LocalGrid], u: np.ndarray) -> None:
-        """states <- u @ states (local blocks; u identical on all ranks)."""
-        old = [states[b].interior.copy() for b in range(self.n_bands)]
-        for i in range(self.n_bands):
-            acc = np.zeros_like(old[0])
-            for j in range(self.n_bands):
-                acc += u[i, j] * old[j]
-            states[i].interior[...] = acc
+    def _rotate(
+        self, ep: RankEndpoint, ring: BandRingExecutor,
+        states: dict[int, LocalGrid], u: np.ndarray,
+    ) -> None:
+        """states <- u @ states (u is the full G x G matrix, identical
+        on all ranks); the rank's rows come out of the ring's rotate
+        phase, so the blocks of other groups only transit once."""
+        bands = sorted(states)
+        shape = states[bands[0]].interior.shape
+        local = np.stack([states[b].interior.reshape(-1) for b in bands])
+        rotated = ring.rotate(ep, u, local)
+        for i, b in enumerate(bands):
+            states[b].interior[...] = rotated[i].reshape(shape)
+
+    def _rotate_arrays(
+        self, ep: RankEndpoint, ring: BandRingExecutor,
+        arrays: dict[int, np.ndarray], u: np.ndarray,
+    ) -> dict[int, np.ndarray]:
+        """Same rotation for plain interior arrays (H psi blocks)."""
+        bands = sorted(arrays)
+        shape = arrays[bands[0]].shape
+        local = np.stack([arrays[b].reshape(-1) for b in bands])
+        rotated = ring.rotate(ep, u, local)
+        return {b: rotated[i].reshape(shape) for i, b in enumerate(bands)}
 
     # -- the rank program --------------------------------------------------------
-    def _rank_run(self, ep: RankEndpoint, v_ext_blocks, initial_blocks, restore=None):
+    def _rank_run(
+        self, ep: RankEndpoint, v_ext_blocks, initial_blocks,
+        restore=None, step_tracer=None,
+    ):
         rank = ep.rank
-        v_ext = v_ext_blocks[rank].interior.copy()
-        states = {b: initial_blocks[b][rank] for b in range(self.n_bands)}
-        self._lowdin_rotate(ep, states)
+        lay = self.layout
+        group = lay.group_of(rank)
+        domain = lay.domain_of(rank)
+        bands = list(lay.bands_of(group))
+        # halo traffic, preconditioning and the Poisson solve stay inside
+        # the band group: gep re-ranks this rank to its domain index
+        if lay.n_groups > 1:
+            gep = GroupEndpoint(
+                ep, group * lay.ranks_per_group, lay.ranks_per_group
+            )
+        else:
+            gep = ep
+        hook = None
+        if step_tracer is not None:
+            from repro.obs.spans import engine_hook
+
+            hook = engine_hook(
+                step_tracer, domain, worker_prefix=f"bg{group}.rank"
+            )
+        ring = BandRingExecutor(
+            lay, self.band_plan, workspace=Workspace(), on_step=hook
+        )
+        v_ext = v_ext_blocks[domain].interior.copy()
+        states = {b: initial_blocks[b][domain] for b in bands}
+        self._lowdin_rotate(ep, ring, states)
 
         v_h = np.zeros_like(v_ext)
         v_xc = np.zeros_like(v_ext)
@@ -227,29 +324,26 @@ class DistributedSCF:
             it_t0 = time.perf_counter()
             v_local = v_ext + v_h + v_xc
             for _ in range(self.band_iterations):
-                h_states = self._apply_h(ep, states, v_local)
+                h_states = self._apply_h(gep, states, v_local)
                 interiors = {b: states[b].interior for b in states}
-                h_sub = self._band_matrix(ep, interiors, h_states)
+                h_sub = self._band_matrix(ep, ring, interiors, h_states)
                 h_sub = 0.5 * (h_sub + h_sub.T)
                 energies, u = np.linalg.eigh(h_sub)
-                self._rotate(states, u.T)
-                h_list = [h_states[b] for b in range(self.n_bands)]
-                for i in range(self.n_bands):
-                    acc = np.zeros_like(h_list[0])
-                    for j in range(self.n_bands):
-                        acc += u.T[i, j] * h_list[j]
-                    h_states[i] = acc
+                self._rotate(ep, ring, states, u.T)
+                h_states = self._rotate_arrays(ep, ring, h_states, u.T)
 
                 residuals = {
                     b: h_states[b] - energies[b] * states[b].interior
                     for b in states
                 }
-                directions = self._precondition(ep, residuals)
-                h_dirs = self._apply_h(ep, directions, v_local)
-                # per-band 2x2 Rayleigh line search; reduce all entries at once
+                directions = self._precondition(gep, residuals)
+                h_dirs = self._apply_h(gep, directions, v_local)
+                # per-band 2x2 Rayleigh line search; each rank fills its
+                # own bands' entries and one global reduce sums domains
+                # within each owning group (other groups contribute 0)
                 n = self.n_bands
-                partial = np.empty(5 * n)
-                for b in range(n):
+                partial = np.zeros(5 * n)
+                for b in bands:
                     psi = states[b].interior
                     d = directions[b].interior
                     partial[5 * b + 0] = float(np.vdot(psi, h_states[b])) * self.h3
@@ -260,7 +354,7 @@ class DistributedSCF:
                 red = ep.allreduce(partial)
                 from scipy.linalg import eigh as geigh
 
-                for b in range(n):
+                for b in bands:
                     app, apd, add, spd, sdd = red[5 * b: 5 * b + 5]
                     a = np.array([[app, apd], [apd, add]])
                     s2 = np.array([[1.0, spd], [spd, sdd]])
@@ -271,15 +365,21 @@ class DistributedSCF:
                     states[b].interior[...] = (
                         c0 * states[b].interior + c1 * directions[b].interior
                     )
-                self._lowdin_rotate(ep, states)
+                self._lowdin_rotate(ep, ring, states)
 
-            # density, Hartree, XC
+            # density, Hartree, XC; each group only knows its own bands'
+            # share, so the band-axis sum completes rho (deterministic:
+            # every band peer ends up with the bitwise-identical total)
             rho = np.zeros_like(v_ext)
-            for b in range(self.n_bands):
+            for b in bands:
                 rho += self.occ[b] * states[b].interior ** 2
+            rho = band_axis_sum(ep, lay, rho)
             if rho_old is not None:
                 local_change = float(np.abs(rho - rho_old).sum() * self.h3)
-                change = float(ep.allreduce(local_change)[0])
+                # all groups hold the same rho: group 0 speaks for all
+                change = float(
+                    ep.allreduce(local_change if group == 0 else 0.0)[0]
+                )
                 if report:
                     m_residual.set(change)
                 if change < self.tolerance:
@@ -291,8 +391,11 @@ class DistributedSCF:
                     break
             rho_old = rho.copy()
 
+            # every group solves the identical Poisson problem on its own
+            # domain decomposition (redundant but communication-local);
+            # identical rho in, deterministic solver, identical v_h out
             v_h_new = self.poisson._rank_solve(
-                ep, self._rho_blocks_for(rank, rho)
+                gep, self._rho_blocks_for(domain, rho)
             )[0].interior
             v_h = (1 - self.mixing) * v_h + self.mixing * v_h_new
             if self.xc == "lda":
@@ -309,17 +412,18 @@ class DistributedSCF:
                 self.checkpoint_store.deposit(
                     iteration=it,
                     rank=rank,
-                    n_domains=self.decomp.n_domains,
+                    n_domains=lay.n_ranks,
                     shape=self.grid.shape,
                     energies=energies,
                     fields={
                         "states": np.stack(
-                            [states[b].interior for b in range(self.n_bands)]
+                            [states[b].interior for b in bands]
                         ),
                         "rho_old": rho_old,
                         "v_h": v_h,
                         "v_xc": v_xc,
                     },
+                    n_band_groups=lay.n_groups,
                 )
 
             if report:
@@ -330,45 +434,56 @@ class DistributedSCF:
         # final Rayleigh-Ritz: report clean eigenvalues of the last
         # potential (the in-loop energies lag the post-line-step states)
         v_local = v_ext + v_h + v_xc
-        h_states = self._apply_h(ep, states, v_local)
+        h_states = self._apply_h(gep, states, v_local)
         interiors = {b: states[b].interior for b in states}
-        h_sub = self._band_matrix(ep, interiors, h_states)
+        h_sub = self._band_matrix(ep, ring, interiors, h_states)
         h_sub = 0.5 * (h_sub + h_sub.T)
         energies, u = np.linalg.eigh(h_sub)
-        self._rotate(states, u.T)
+        self._rotate(ep, ring, states, u.T)
 
-        # total energy (allreduced pieces)
+        # total energy (allreduced pieces; group 0 contributes the grid
+        # sums since every group holds the identical density)
         rho = np.zeros_like(v_ext)
-        for b in range(self.n_bands):
+        for b in bands:
             rho += self.occ[b] * states[b].interior ** 2
+        rho = band_axis_sum(ep, lay, rho)
         local = np.array([
             float((rho * v_h).sum() * self.h3),
             float((rho * v_xc).sum() * self.h3),
-        ])
+        ]) if group == 0 else np.zeros(2)
         e_h2, e_vxc = ep.allreduce(local)
         total = float(np.dot(self.occ, energies)) - 0.5 * e_h2
         if self.xc == "lda":
             from repro.dft.xc import lda_energy
 
-            local_exc = lda_energy(rho, self.grid.spacing)
+            local_exc = (
+                lda_energy(rho, self.grid.spacing) if group == 0 else 0.0
+            )
             total += float(ep.allreduce(local_exc)[0]) - e_vxc
         return states, energies, rho, total, it, converged
 
-    def _rho_blocks_for(self, rank: int, rho_interior: np.ndarray) -> list[LocalGrid]:
+    def _rho_blocks_for(
+        self, domain: int, rho_interior: np.ndarray
+    ) -> list[LocalGrid]:
         """The blocks list the Poisson rank-solver expects.
 
-        Its rank function only reads entry ``[rank]``; the other entries
-        are placeholders (each rank builds its own list locally)."""
+        Its rank function only reads entry ``[domain]``; the other
+        entries are placeholders (each rank builds its own list
+        locally).  Indexing is by domain within the band group — the
+        Poisson solve runs over the group endpoint."""
         blocks = [
             LocalGrid(self.decomp, r, self.poisson.halo)
             for r in range(self.decomp.n_domains)
         ]
-        blocks[rank].interior[...] = rho_interior
+        blocks[domain].interior[...] = rho_interior
         return blocks
 
     # -- public API --------------------------------------------------------------
     def run(
-        self, transport=None, resume_from: SCFCheckpoint | None = None
+        self,
+        transport=None,
+        resume_from: SCFCheckpoint | None = None,
+        step_tracer=None,
     ) -> DistributedSCFResult:
         """Scatter, iterate on rank threads, gather.
 
@@ -382,15 +497,21 @@ class DistributedSCF:
         transport is given, the default transport is built with the same
         registry, so one run reports SCF, checkpoint, *and* transport
         counters together.
+
+        ``step_tracer`` (a :class:`~repro.obs.spans.SpanTracer`) records
+        the executed ring-orthogonalization steps, with resources tagged
+        by band group (``bg{group}.rank{domain}.w0``).
         """
         if transport is None and self.metrics.enabled:
             from repro.transport.inproc import InprocTransport
 
             transport = InprocTransport(
-                self.decomp.n_domains, metrics=self.metrics
+                self.layout.n_ranks, metrics=self.metrics
             )
         v_ext_blocks = scatter(self.v_ext, self.decomp, self.halo)
         if resume_from is None:
+            # every group draws the same full band set, then keeps its
+            # slice — initial states are independent of n_band_groups
             rng = np.random.default_rng(self.seed)
             initial = [
                 rng.standard_normal(self.grid.shape) for _ in range(self.n_bands)
@@ -402,21 +523,29 @@ class DistributedSCF:
         else:
             initial_blocks, restore = self._resume_state(resume_from)
         results = run_ranks(
-            self.decomp.n_domains,
+            self.layout.n_ranks,
             self._rank_run,
             v_ext_blocks,
             initial_blocks,
             restore,
+            step_tracer,
             transport=transport,
         )
-        states_blocks, energies, _, total, it, converged = results[0]
+        lay = self.layout
+        n_domains = self.decomp.n_domains
+        _, energies, _, total, it, converged = results[0]
         gathered_states = np.stack([
-            gather([results[r][0][b] for r in range(self.decomp.n_domains)])
+            gather([
+                results[lay.rank_of(lay.group_of_band(b), d)][0][b]
+                for d in range(n_domains)
+            ])
             for b in range(self.n_bands)
         ])
-        density = gather(
-            [self._density_block(results[r][2], r) for r in range(self.decomp.n_domains)]
-        )
+        # all groups hold the identical density; gather group 0's blocks
+        density = gather([
+            self._density_block(results[lay.rank_of(0, d)][2], d)
+            for d in range(n_domains)
+        ])
         return DistributedSCFResult(
             energies=energies,
             states=gathered_states,
@@ -424,7 +553,7 @@ class DistributedSCF:
             total_energy=total,
             iterations=it,
             converged=converged,
-            final_ranks=self.decomp.n_domains,
+            final_ranks=lay.n_ranks,
         )
 
     def _resume_state(self, ckpt: SCFCheckpoint):
@@ -434,17 +563,29 @@ class DistributedSCF:
         onto this layout through the transfer plan before any rank
         thread starts.
         """
+        lay = self.layout
         if tuple(ckpt.shape) != tuple(self.grid.shape):
             raise ValueError(
                 f"checkpoint grid {tuple(ckpt.shape)} does not match "
                 f"SCF grid {tuple(self.grid.shape)}"
             )
-        n_bands = ckpt.blocks[0]["states"].shape[0]
+        if ckpt.n_band_groups != lay.n_groups:
+            raise ValueError(
+                f"checkpoint was written with {ckpt.n_band_groups} band "
+                f"groups, SCF has {lay.n_groups}"
+            )
+        n_bands = ckpt.blocks[0]["states"].shape[0] * lay.n_groups
         if n_bands != self.n_bands:
             raise ValueError(
                 f"checkpoint has {n_bands} bands, SCF wants {self.n_bands}"
             )
-        if ckpt.n_domains != self.decomp.n_domains:
+        if ckpt.n_domains != lay.n_ranks:
+            if lay.n_groups > 1:
+                raise ValueError(
+                    f"band-parallel checkpoint needs {ckpt.n_domains} "
+                    f"ranks to resume, SCF has {lay.n_ranks} (shrinking "
+                    "is only supported with one band group)"
+                )
             old = Decomposition(self.grid, ckpt.n_domains)
             fields = {
                 name: redistribute_blocks(
@@ -464,10 +605,14 @@ class DistributedSCF:
             )
         initial_blocks = []
         for b in range(self.n_bands):
+            g = lay.group_of_band(b)
+            local_b = b - g * lay.bands_per_group
             band = []
-            for r in range(self.decomp.n_domains):
-                lg = LocalGrid(self.decomp, r, self.halo)
-                lg.interior[...] = ckpt.blocks[r]["states"][b]
+            for d in range(self.decomp.n_domains):
+                lg = LocalGrid(self.decomp, d, self.halo)
+                lg.interior[...] = (
+                    ckpt.blocks[lay.rank_of(g, d)]["states"][local_b]
+                )
                 band.append(lg)
             initial_blocks.append(band)
         return initial_blocks, ckpt
@@ -484,6 +629,7 @@ class DistributedSCF:
             self.v_ext,
             self.n_bands,
             n_ranks,
+            n_band_groups=self.layout.n_groups,
             occupations=list(self.occ),
             mixing=self.mixing,
             tolerance=self.tolerance,
@@ -536,7 +682,7 @@ class DistributedSCF:
                     on_restart(restarts, exc)
                 if (
                     shrink_to is not None
-                    and scf.decomp.n_domains != shrink_to
+                    and scf.layout.n_ranks != shrink_to
                 ):
                     scf = scf.with_ranks(shrink_to)
 

@@ -24,10 +24,39 @@ class Laplacian:
             radius, spacing=grid.spacing
         )
 
-    def apply(self, array: np.ndarray) -> np.ndarray:
-        """laplace(array) with the descriptor's boundary conditions."""
+    def apply(
+        self,
+        array: np.ndarray,
+        out: np.ndarray | None = None,
+        workspace=None,
+    ) -> np.ndarray:
+        """laplace(array) with the descriptor's boundary conditions.
+
+        ``out`` receives the result in place; with a
+        :class:`repro.core.workspace.Workspace` the kernel's shifted-grid
+        and scratch buffers are borrowed from the arena instead of
+        allocated, making repeated applications (Jacobi smoothing, SCF
+        residuals) allocation-free.  Results are bit-identical on every
+        path.
+        """
         self.grid.check_array(array)
-        return apply_stencil_global(array, self.coeffs, pbc=self.grid.pbc)
+        if workspace is None:
+            return apply_stencil_global(
+                array, self.coeffs, pbc=self.grid.pbc, out=out
+            )
+        shape, dtype = array.shape, array.dtype
+        scratch = workspace.borrow(shape, dtype)
+        t1 = workspace.borrow(shape, dtype)
+        t2 = workspace.borrow(shape, dtype)
+        try:
+            return apply_stencil_global(
+                array, self.coeffs, pbc=self.grid.pbc, out=out,
+                scratch=scratch, term_buf=t1, term_buf2=t2,
+            )
+        finally:
+            workspace.release(t2)
+            workspace.release(t1)
+            workspace.release(scratch)
 
     def __call__(self, array: np.ndarray) -> np.ndarray:
         return self.apply(array)

@@ -21,15 +21,45 @@ import numpy as np
 from repro.grid.grid import GridDescriptor
 
 
-def overlap_matrix(grid: GridDescriptor, states: np.ndarray) -> np.ndarray:
-    """``S_ij = <psi_i | psi_j>`` over the grid (with volume element)."""
+def overlap_matrix(
+    grid: GridDescriptor, states: np.ndarray, block_size: int = 32
+) -> np.ndarray:
+    """``S_ij = <psi_i | psi_j>`` over the grid (with volume element).
+
+    ``S`` is Hermitian, so only the lower triangle is computed — as
+    blocked GEMM tiles of ``block_size`` bands a side — and reflected.
+    That halves the flops of the full ``flat @ flat.T`` Gram product and
+    makes the result *bitwise* Hermitian: the diagonal tiles are
+    explicitly symmetrized (a GEMM's output is only symmetric to
+    round-off), which downstream eigensolvers appreciate.
+    """
     if states.ndim != 4 or states.shape[1:] != grid.shape:
         raise ValueError(
             f"states must be (bands, {grid.shape}); got {states.shape}"
         )
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
     flat = states.reshape(states.shape[0], -1)
     h3 = grid.spacing ** 3
-    return (flat.conj() @ flat.T) * h3
+    n = flat.shape[0]
+    s = np.empty((n, n), dtype=flat.dtype)
+    for i0 in range(0, n, block_size):
+        i1 = min(i0 + block_size, n)
+        left = flat[i0:i1].conj()
+        for j0 in range(0, i0 + 1, block_size):
+            j1 = min(j0 + block_size, n)
+            tile = left @ flat[j0:j1].T
+            tile *= h3
+            if j0 == i0:
+                # reflect the tile's own lower triangle across its
+                # diagonal so S == S^H holds bit for bit
+                il, ju = np.tril_indices(i1 - i0, k=-1)
+                tile[ju, il] = tile[il, ju].conj()
+                s[i0:i1, j0:j1] = tile
+            else:
+                s[i0:i1, j0:j1] = tile
+                s[j0:j1, i0:i1] = tile.conj().T
+    return s
 
 
 def gram_schmidt(grid: GridDescriptor, states: np.ndarray) -> np.ndarray:

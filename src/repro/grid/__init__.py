@@ -15,6 +15,7 @@ This package is GPAW's grid substrate (section IV of the paper):
 
 from repro.grid.grid import GridDescriptor
 from repro.grid.decompose import Decomposition
+from repro.grid.bandgroups import BandGroups
 from repro.grid.halo import HaloSpec, HaloMessage, halo_messages
 from repro.grid.array import LocalGrid, scatter, gather
 from repro.grid.redistribute import Transfer, redistribute, transfer_plan
@@ -22,6 +23,7 @@ from repro.grid.redistribute import Transfer, redistribute, transfer_plan
 __all__ = [
     "GridDescriptor",
     "Decomposition",
+    "BandGroups",
     "HaloSpec",
     "HaloMessage",
     "halo_messages",

@@ -1,0 +1,114 @@
+"""The 2D grid × band process layout.
+
+The paper's decomposition constraint (section IV) forces every rank to
+hold the same subset of *every* wave function, so at 16 k cores the
+domain blocks shrink to slivers.  The escape is a second parallel axis:
+split the ``P`` ranks into ``nb`` *band groups*, each owning ``G/nb``
+wave functions on its own ``P/nb``-rank domain decomposition.  This
+module pins down the bookkeeping every plane shares:
+
+* global rank = ``group * ranks_per_group + domain`` (groups are
+  contiguous rank ranges, so a group maps onto a compact torus
+  partition);
+* band ``b`` lives in group ``b // bands_per_group``;
+* the orthogonalization ring sends to the next group and receives from
+  the previous one, always between ranks holding the *same* domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.util.validation import check_divisible, check_positive_int
+
+
+@dataclass(frozen=True)
+class BandGroups:
+    """``P = n_ranks`` processes split into ``n_groups`` band groups
+    over ``n_bands`` wave functions."""
+
+    n_ranks: int
+    n_bands: int
+    n_groups: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_ranks, "n_ranks")
+        check_positive_int(self.n_bands, "n_bands")
+        check_positive_int(self.n_groups, "n_groups")
+        check_divisible(self.n_bands, self.n_groups, "n_bands", "band groups")
+        check_divisible(self.n_ranks, self.n_groups, "n_ranks", "band groups")
+
+    @property
+    def ranks_per_group(self) -> int:
+        return self.n_ranks // self.n_groups
+
+    @property
+    def bands_per_group(self) -> int:
+        return self.n_bands // self.n_groups
+
+    # -- rank <-> (group, domain) ------------------------------------------
+    def group_of(self, rank: int) -> int:
+        self._check_rank(rank)
+        return rank // self.ranks_per_group
+
+    def domain_of(self, rank: int) -> int:
+        """The rank's position inside its group's domain decomposition."""
+        self._check_rank(rank)
+        return rank % self.ranks_per_group
+
+    def rank_of(self, group: int, domain: int) -> int:
+        self._check_group(group)
+        if not 0 <= domain < self.ranks_per_group:
+            raise ValueError(
+                f"domain must be in 0..{self.ranks_per_group - 1}, got {domain}"
+            )
+        return group * self.ranks_per_group + domain
+
+    # -- band ownership -----------------------------------------------------
+    def bands_of(self, group: int) -> range:
+        """The global band indices group ``group`` owns."""
+        self._check_group(group)
+        lo = group * self.bands_per_group
+        return range(lo, lo + self.bands_per_group)
+
+    def group_of_band(self, band: int) -> int:
+        if not 0 <= band < self.n_bands:
+            raise ValueError(f"band must be in 0..{self.n_bands - 1}, got {band}")
+        return band // self.bands_per_group
+
+    # -- the orthogonalization ring ----------------------------------------
+    def ring_send_group(self, group: int) -> int:
+        self._check_group(group)
+        return (group + 1) % self.n_groups
+
+    def ring_recv_group(self, group: int) -> int:
+        self._check_group(group)
+        return (group - 1) % self.n_groups
+
+    def band_peers(self, rank: int) -> list[int]:
+        """The ranks holding the same domain in every group (self included),
+        in group order — the canonical summation order for band-axis
+        reductions."""
+        domain = self.domain_of(rank)
+        return [self.rank_of(g, domain) for g in range(self.n_groups)]
+
+    @cached_property
+    def _str(self) -> str:
+        return (
+            f"BandGroups({self.n_groups} x {self.ranks_per_group} ranks, "
+            f"{self.bands_per_group} bands/group)"
+        )
+
+    def describe(self) -> str:
+        return self._str
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.n_ranks:
+            raise ValueError(f"rank must be in 0..{self.n_ranks - 1}, got {rank}")
+
+    def _check_group(self, group: int) -> None:
+        if not 0 <= group < self.n_groups:
+            raise ValueError(
+                f"group must be in 0..{self.n_groups - 1}, got {group}"
+            )

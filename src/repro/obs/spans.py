@@ -50,9 +50,11 @@ __all__ = [
 ]
 
 #: step kinds whose time is halo-exchange communication
-COMM_STEPS = frozenset({"PostSend", "PostRecv", "WaitAll"})
+COMM_STEPS = frozenset({"PostSend", "PostRecv", "WaitAll", "RingSendRecv"})
 #: step kinds whose time is stencil computation (incl. ghost finalization)
-COMPUTE_STEPS = frozenset({"ComputeInterior", "ComputeBoundary", "ApplyLocalWraps"})
+COMPUTE_STEPS = frozenset(
+    {"ComputeInterior", "ComputeBoundary", "ApplyLocalWraps", "PartialGemm"}
+)
 #: step kinds whose time is synchronization (barriers, thread spawn/join)
 SYNC_STEPS = frozenset({"GridBarrier", "JoinBarrier"})
 

@@ -232,12 +232,23 @@ def apply_stencil_global(
     array: np.ndarray,
     coeffs: StencilCoefficients,
     pbc: tuple[bool, bool, bool] = (True, True, True),
+    out: np.ndarray | None = None,
+    scratch: np.ndarray | None = None,
+    term_buf: np.ndarray | None = None,
+    term_buf2: np.ndarray | None = None,
 ) -> np.ndarray:
     """Sequential oracle: apply the stencil to a full grid.
 
-    Periodic axes wrap (``np.roll``); non-periodic axes treat outside
-    points as zero.  The accumulation order mirrors :func:`_fused_apply`
-    exactly, so distributed results are bit-identical to this oracle.
+    Periodic axes wrap; non-periodic axes treat outside points as zero.
+    The accumulation order mirrors :func:`_fused_apply` exactly, so
+    distributed results are bit-identical to this oracle.
+
+    All four buffers are optional and full-grid shaped; passing them
+    (borrowed from a :class:`repro.core.workspace.Workspace`) makes the
+    call allocation-free.  ``term_buf``/``term_buf2`` hold the shifted
+    grids — the first add of each distance needs two simultaneously.
+    The buffered path performs the same operations in the same order as
+    the allocating one, so results stay bit-identical either way.
     """
     w = coeffs.radius
     for axis, size in enumerate(array.shape):
@@ -249,32 +260,67 @@ def apply_stencil_global(
                 f"axis {axis} has {size} points < 2*radius {2 * w}; too "
                 "small for a periodic stencil"
             )
+    if out is None:
+        out = np.empty_like(array)
+    else:
+        _check_buffer("out", out, array.shape, array.dtype, array)
+    if scratch is None:
+        scratch = np.empty_like(array)
+    else:
+        _check_buffer("scratch", scratch, array.shape, array.dtype, array, out)
+    if term_buf is None:
+        term_buf = np.empty_like(array)
+    else:
+        _check_buffer("term_buf", term_buf, array.shape, array.dtype,
+                      array, out, scratch)
+    if term_buf2 is None:
+        term_buf2 = np.empty_like(array)
+    else:
+        _check_buffer("term_buf2", term_buf2, array.shape, array.dtype,
+                      array, out, scratch, term_buf)
 
-    def term(axis: int, dist: int, sign: int) -> np.ndarray:
-        """The grid shifted so point p sees p + sign*dist along axis."""
-        if pbc[axis]:
-            return np.roll(array, -sign * dist, axis=axis)
-        shifted = np.zeros_like(array)
+    def term(buf: np.ndarray, axis: int, dist: int, sign: int) -> np.ndarray:
+        """Fill ``buf`` with the grid shifted so point p sees
+        p + sign*dist along ``axis`` (the slab-copy form of np.roll)."""
+        n = array.shape[axis]
         src: list[slice] = [slice(None)] * 3
         dst: list[slice] = [slice(None)] * 3
-        n = array.shape[axis]
+        if pbc[axis]:
+            s = (-sign * dist) % n
+            if s == 0:
+                np.copyto(buf, array)
+                return buf
+            dst[axis] = slice(0, s)
+            src[axis] = slice(n - s, None)
+            buf[tuple(dst)] = array[tuple(src)]
+            dst[axis] = slice(s, None)
+            src[axis] = slice(0, n - s)
+            buf[tuple(dst)] = array[tuple(src)]
+            return buf
+        gap: list[slice] = [slice(None)] * 3
         if sign < 0:
             src[axis] = slice(0, n - dist)
             dst[axis] = slice(dist, None)
+            gap[axis] = slice(0, dist)
         else:
             src[axis] = slice(dist, None)
             dst[axis] = slice(0, n - dist)
-        shifted[tuple(dst)] = array[tuple(src)]
-        return shifted
+            gap[axis] = slice(n - dist, None)
+        buf[tuple(gap)] = 0.0
+        buf[tuple(dst)] = array[tuple(src)]
+        return buf
 
-    out = coeffs.center * array
-    scratch = np.empty_like(array)
+    np.multiply(array, coeffs.center, out=out)
     for dist in range(1, w + 1):
         weight = coeffs.weights[dist - 1]
-        np.add(term(0, dist, -1), term(0, dist, +1), out=scratch)
+        np.add(
+            term(term_buf, 0, dist, -1),
+            term(term_buf2, 0, dist, +1),
+            out=scratch,
+        )
         for axis in (1, 2):
-            np.add(scratch, term(axis, dist, -1), out=scratch)
-            np.add(scratch, term(axis, dist, +1), out=scratch)
+            np.add(scratch, term(term_buf, axis, dist, -1), out=scratch)
+            np.add(scratch, term(term_buf, axis, dist, +1), out=scratch)
         np.multiply(scratch, weight, out=scratch)
         np.add(out, scratch, out=out)
     return out

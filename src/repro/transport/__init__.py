@@ -44,6 +44,7 @@ from repro.transport.faults import (
 )
 from repro.transport.inproc import (
     AttributableBarrier,
+    GroupEndpoint,
     InprocTransport,
     RankEndpoint,
     run_ranks,
@@ -63,6 +64,7 @@ __all__ = [
     "FaultPlan",
     "FaultyEndpoint",
     "FaultyTransport",
+    "GroupEndpoint",
     "HaloTimeoutError",
     "InprocTransport",
     "PeerDeadError",

@@ -23,6 +23,8 @@ _HALO_TAG_STRIDE = 8
 REDIST_TAG_BASE = 1 << 24
 #: mirrors repro.dft.checkpoint's gather tag space
 CHECKPOINT_TAG_BASE = 1 << 26
+#: mirrors repro.core.schedule.RING_TAG_BASE (band orthogonalization ring)
+RING_TAG_BASE = 1 << 27
 #: mirrors repro.transport.inproc.RankEndpoint._COLL_TAG_BASE
 COLL_TAG_BASE = 1 << 28
 
@@ -52,6 +54,12 @@ def describe_tag(tag: int) -> str:
         return "any tag"
     if tag >= COLL_TAG_BASE:
         return f"collective round {tag - COLL_TAG_BASE}"
+    if tag >= RING_TAG_BASE:
+        phase, stage = divmod(tag - RING_TAG_BASE, 1 << 12)
+        name = {0: "overlap", 1: "rotate", 2: "band-sum"}.get(
+            phase, f"phase {phase}"
+        )
+        return f"band ring {name} stage {stage}"
     if tag >= CHECKPOINT_TAG_BASE:
         return f"checkpoint gather slot {tag - CHECKPOINT_TAG_BASE}"
     if tag >= REDIST_TAG_BASE:

@@ -392,6 +392,109 @@ class RankEndpoint:
         return self.recv(src=0, tag=tag + 1)
 
 
+class GroupEndpoint:
+    """A contiguous sub-communicator view over one rank's endpoint.
+
+    The band-parallel SCF splits the ``P`` transport ranks into ``nb``
+    groups of ``P/nb``; inside a group the FD engine and the Poisson
+    solver must see an ordinary ``size``-rank communicator whose rank 0
+    is the group's first global rank.  This wrapper translates ranks by
+    a fixed ``base`` offset and otherwise delegates — the engine drives
+    it exactly like a :class:`RankEndpoint` (same ``isend``/``irecv``/
+    ``waitall``/``allreduce`` surface, same zero-copy contract).
+
+    Group collectives offset their ``round_id`` into a reserved band so
+    a group rooted at global rank 0 can never capture another group's
+    contribution to a concurrently running *global* collective.
+    """
+
+    #: round_id offset separating group collectives from global ones
+    _GROUP_COLL_OFFSET = 1 << 16
+
+    def __init__(self, endpoint: RankEndpoint, base: int, size: int):
+        if size < 1:
+            raise ValueError(f"group size must be >= 1, got {size}")
+        if not 0 <= base <= endpoint.size - size:
+            raise ValueError(
+                f"group [{base}, {base + size}) outside the "
+                f"{endpoint.size}-rank transport"
+            )
+        if not base <= endpoint.rank < base + size:
+            raise ValueError(
+                f"rank {endpoint.rank} is not inside group "
+                f"[{base}, {base + size})"
+            )
+        self.endpoint = endpoint
+        self.base = base
+        self._size = size
+
+    @property
+    def zero_copy_sends(self) -> bool:
+        return getattr(self.endpoint, "zero_copy_sends", False)
+
+    @property
+    def rank(self) -> int:
+        return self.endpoint.rank - self.base
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def _global(self, rank: int, what: str) -> int:
+        if not 0 <= rank < self._size:
+            raise ValueError(
+                f"{what} {rank} outside group 0..{self._size - 1}"
+            )
+        return rank + self.base
+
+    def isend(
+        self, dst: int, payload: np.ndarray, tag: int = 0, copy: bool = True
+    ) -> SendHandle:
+        return self.endpoint.isend(
+            self._global(dst, "dst"), payload, tag=tag, copy=copy
+        )
+
+    def send(self, dst: int, payload: np.ndarray, tag: int = 0) -> None:
+        self.isend(dst, payload, tag).wait()
+
+    def irecv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> RecvHandle:
+        if src != ANY_SOURCE:
+            src = self._global(src, "src")
+        return self.endpoint.irecv(src=src, tag=tag)
+
+    def recv(
+        self, src: int = ANY_SOURCE, tag: int = ANY_TAG,
+        timeout: Optional[float] = None,
+    ) -> np.ndarray:
+        if src != ANY_SOURCE:
+            src = self._global(src, "src")
+        return self.endpoint._take(src, tag, timeout)
+
+    def waitall(self, handles: Sequence[SendHandle | RecvHandle]) -> list[Any]:
+        return self.endpoint.waitall(handles)
+
+    def allreduce(self, value: np.ndarray | float, round_id: int = 0) -> np.ndarray:
+        """Sum-allreduce over the group's ranks only."""
+        payload = np.atleast_1d(np.asarray(value, dtype=np.float64))
+        tag = (
+            RankEndpoint._COLL_TAG_BASE
+            + self._GROUP_COLL_OFFSET
+            + round_id
+        )
+        if self._size == 1:
+            return payload.copy()
+        ep = self.endpoint
+        if self.rank == 0:
+            total = payload.astype(np.float64, copy=True)
+            for _ in range(self._size - 1):
+                total += ep.recv(src=ANY_SOURCE, tag=tag)
+            for dst in range(1, self._size):
+                ep.isend(self.base + dst, total, tag=tag + 1)
+            return total
+        ep.isend(self.base, payload, tag=tag)
+        return ep.recv(src=self.base, tag=tag + 1)
+
+
 def run_ranks(
     size: int,
     fn: Callable[..., Any],

@@ -34,6 +34,22 @@ def check_nonnegative(value: Any, name: str) -> float:
     return v
 
 
+def check_divisible(value: int, divisor: int, name: str, divisor_name: str) -> int:
+    """Require ``value`` to be an exact multiple of ``divisor``.
+
+    Both operands are named in the message so a band-group misconfiguration
+    reads like the fix ("n_bands (7) must be divisible by band groups (2)")
+    instead of a downstream reshape error.
+    """
+    v = check_positive_int(value, name)
+    d = check_positive_int(divisor, divisor_name)
+    if v % d:
+        raise ValueError(
+            f"{name} ({v}) must be divisible by {divisor_name} ({d})"
+        )
+    return v
+
+
 def check_in(value: Any, options: Collection[Any], name: str) -> Any:
     """Require ``value`` to be one of ``options``."""
     if value not in options:

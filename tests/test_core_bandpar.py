@@ -1,9 +1,15 @@
-"""Tests for the band-parallelization extension model."""
+"""Tests for the band-parallelization extension model.
+
+Also pins the compiled :class:`BandSchedulePlan` structure all three
+planes execute, the ``nb = 1`` plan-identity reduction, and the
+model-vs-DES cross-validation (<= 5%).
+"""
 
 import pytest
 
-from repro.core import FDJob
+from repro.core import FDJob, PartialGemm, RingSendRecv
 from repro.core.bandpar import BandParallelModel
+from repro.core.schedule import OVERLAP_PHASE, ROTATE_PHASE, WaitAll
 from repro.grid import GridDescriptor
 
 
@@ -73,3 +79,87 @@ class TestScalingEscape:
         job = FDJob(GridDescriptor((96, 96, 96)), 12)  # 12 grids: nb in {1,2,4}
         nbs = [t.n_band_groups for t in model.sweep(job, 256, max_groups=8)]
         assert nbs == [1, 2, 4]
+
+
+class TestCompiledPlan:
+    """Structure of the plan every plane walks."""
+
+    def test_nb1_degenerates_to_one_gemm_per_phase(self, model, job):
+        plan = model.band_plan(job, 16384, 1)
+        steps = plan.group_steps(0)
+        assert [type(s).__name__ for s in steps] == ["PartialGemm"] * 2
+        assert {s.phase for s in steps} == {OVERLAP_PHASE, ROTATE_PHASE}
+
+    def test_nb1_fd_plan_is_the_hybrid_multiple_plan(self, model, job):
+        """Identity, not equivalence: same cache key, same object."""
+        from repro.core import HYBRID_MULTIPLE, PerformanceModel
+        from repro.core.schedule import compile_schedule, timing_plane_workers
+        from repro.grid import Decomposition
+
+        timing = PerformanceModel().best_batch_size(job, HYBRID_MULTIPLE, 16384)
+        direct = compile_schedule(
+            HYBRID_MULTIPLE,
+            Decomposition(job.grid, HYBRID_MULTIPLE.domains_for(16384)),
+            job.n_grids,
+            timing.batch_size,
+            n_workers=timing_plane_workers(HYBRID_MULTIPLE, 16384),
+        )
+        assert model.fd_plan(job, 16384, 1) is direct
+
+    def test_step_counts_per_phase(self, model, job):
+        nb = 4
+        plan = model.band_plan(job, 16384, nb)
+        for phase in (OVERLAP_PHASE, ROTATE_PHASE):
+            steps = plan.phase_steps(0, phase)
+            kinds = [type(s) for s in steps]
+            assert kinds.count(PartialGemm) == nb
+            assert kinds.count(RingSendRecv) == nb - 1
+            assert kinds.count(WaitAll) == nb - 1
+
+    def test_group_steps_concatenates_the_phases(self, model, job):
+        plan = model.band_plan(job, 16384, 4)
+        assert plan.group_steps(1) == (
+            plan.phase_steps(1, OVERLAP_PHASE) + plan.phase_steps(1, ROTATE_PHASE)
+        )
+        assert plan.rank_steps(16383) == plan.group_steps(3)
+
+    def test_exchange_posted_before_the_gemm_it_hides_under(self, model, job):
+        plan = model.band_plan(job, 16384, 4)
+        steps = plan.phase_steps(2, OVERLAP_PHASE)
+        for i, st in enumerate(steps):
+            if isinstance(st, RingSendRecv):
+                assert isinstance(steps[i + 1], PartialGemm)
+                assert isinstance(steps[i + 2], WaitAll)
+                assert steps[i + 2].seq == st.seq
+
+    def test_gemm_sources_walk_the_ring(self, model, job):
+        nb = 4
+        plan = model.band_plan(job, 16384, nb)
+        for group in range(nb):
+            srcs = [
+                s.src_group
+                for s in plan.phase_steps(group, OVERLAP_PHASE)
+                if isinstance(s, PartialGemm)
+            ]
+            assert srcs == [(group - stage) % nb for stage in range(nb)]
+
+    def test_ring_tags_distinct_across_phases_and_stages(self, model, job):
+        plan = model.band_plan(job, 16384, 4)
+        tags = [
+            s.tag for s in plan.group_steps(0) if isinstance(s, RingSendRecv)
+        ]
+        assert len(tags) == len(set(tags)) == 6
+
+
+class TestModelVsDes:
+    """The analytic walk and the DES replay price the same plan alike."""
+
+    @pytest.mark.parametrize("nb", [1, 2, 4])
+    def test_band_step_within_five_percent(self, nb):
+        from repro.core.simrun import simulate_band_step
+
+        small = FDJob(GridDescriptor((48, 48, 48)), 16)
+        modeled = BandParallelModel().evaluate(small, 32, nb)
+        sim = simulate_band_step(small, 32, nb)
+        assert sim.n_groups == nb
+        assert sim.total == pytest.approx(modeled.total, rel=0.05)

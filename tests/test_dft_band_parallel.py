@@ -1,0 +1,177 @@
+"""End-to-end tests: the SCF under the 2D grid x band decomposition.
+
+``DistributedSCF(n_band_groups=nb)`` splits the rank threads into band
+groups and runs the compiled ring-orthogonalization plan on real NumPy
+blocks.  The decomposition must be *exact*: every ``nb`` reaches the
+same converged state as the single-group run (round-off apart), the
+checkpoint/restart path carries the band-group layout, and the
+telemetry spans tag resources by band group.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dft import MemoryCheckpointStore, overlap_matrix
+from repro.dft.band_ortho import band_axis_sum
+from repro.dft.distributed_scf import DistributedSCF
+from repro.grid import BandGroups, GridDescriptor
+from repro.transport import run_ranks
+
+
+def aniso_trap(n=8, spacing=0.6):
+    gd = GridDescriptor((n, n, n), pbc=(False,) * 3, spacing=spacing)
+    x, y, z = gd.coordinates()
+    c = (n + 1) * spacing / 2
+    v = 0.5 * ((x - c) ** 2 + 1.44 * (y - c) ** 2 + 1.96 * (z - c) ** 2)
+    return gd, v
+
+
+def band_scf(n_ranks, n_band_groups, n_bands=4, store=None, **overrides):
+    gd, v = aniso_trap()
+    kwargs = dict(
+        n_bands=n_bands,
+        n_ranks=n_ranks,
+        n_band_groups=n_band_groups,
+        occupations=[2.0] * n_bands,
+        mixing=0.6,
+        tolerance=0.0,
+        max_iterations=3,
+        band_iterations=4,
+        checkpoint_store=store,
+    )
+    kwargs.update(overrides)
+    return DistributedSCF(gd, v, **kwargs)
+
+
+class TestValidation:
+    def test_bands_must_divide_by_groups(self):
+        gd, v = aniso_trap()
+        with pytest.raises(ValueError, match="band groups"):
+            DistributedSCF(gd, v, n_bands=3, n_ranks=4, n_band_groups=2)
+
+    def test_ranks_must_divide_by_groups(self):
+        gd, v = aniso_trap()
+        with pytest.raises(ValueError, match="divisible"):
+            DistributedSCF(gd, v, n_bands=4, n_ranks=3, n_band_groups=2)
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    """The single-group run every band-parallel run must reproduce."""
+    return band_scf(n_ranks=4, n_band_groups=1).run()
+
+
+class TestOracleAgreement:
+    @pytest.mark.parametrize("nb", [2, 4])
+    def test_energies_match_single_group(self, oracle, nb):
+        res = band_scf(n_ranks=4, n_band_groups=nb).run()
+        assert res.total_energy == pytest.approx(oracle.total_energy, abs=1e-10)
+        np.testing.assert_allclose(res.energies, oracle.energies, atol=1e-10)
+
+    def test_states_and_density_match_single_group(self, oracle):
+        res = band_scf(n_ranks=4, n_band_groups=2).run()
+        np.testing.assert_allclose(res.density, oracle.density, atol=1e-12)
+        np.testing.assert_allclose(res.states, oracle.states, atol=1e-10)
+
+    def test_gathered_states_orthonormal(self):
+        res = band_scf(n_ranks=4, n_band_groups=2).run()
+        gd, _ = aniso_trap()
+        s = overlap_matrix(gd, res.states)
+        np.testing.assert_allclose(s, np.eye(4), atol=1e-8)
+
+    def test_density_integrates_to_electron_count(self):
+        res = band_scf(n_ranks=4, n_band_groups=4).run()
+        gd, _ = aniso_trap()
+        assert res.density.sum() * gd.spacing**3 == pytest.approx(8.0, rel=1e-6)
+
+
+class TestCheckpointRestart:
+    def test_checkpoint_records_band_groups(self):
+        store = MemoryCheckpointStore()
+        band_scf(n_ranks=4, n_band_groups=2, store=store, max_iterations=1).run()
+        ckpt = store.latest()
+        assert ckpt.n_band_groups == 2
+        assert ckpt.n_domains == 4
+        # each rank deposits only its own group's half of the band set
+        assert ckpt.blocks[0]["states"].shape[0] == 2
+
+    def test_midrun_restart_matches_uninterrupted(self):
+        full = band_scf(n_ranks=4, n_band_groups=2).run()  # 3 iterations
+        store = MemoryCheckpointStore()
+        band_scf(n_ranks=4, n_band_groups=2, store=store, max_iterations=2).run()
+        ckpt = store.latest()
+        assert ckpt.iteration == 2
+        resumed = band_scf(n_ranks=4, n_band_groups=2).run(resume_from=ckpt)
+        assert resumed.iterations == 3  # resumed at 3, finished at 3
+        assert resumed.total_energy == pytest.approx(full.total_energy, abs=1e-10)
+        np.testing.assert_allclose(resumed.states, full.states, atol=1e-10)
+
+    def test_resume_rejects_mismatched_group_count(self):
+        store = MemoryCheckpointStore()
+        band_scf(n_ranks=4, n_band_groups=2, store=store, max_iterations=1).run()
+        ckpt = store.latest()
+        with pytest.raises(ValueError, match="band groups"):
+            band_scf(n_ranks=4, n_band_groups=1).run(resume_from=ckpt)
+
+    def test_resume_rejects_shrink_with_band_groups(self):
+        store = MemoryCheckpointStore()
+        band_scf(n_ranks=4, n_band_groups=2, store=store, max_iterations=1).run()
+        ckpt = store.latest()
+        with pytest.raises(ValueError, match="one band group"):
+            band_scf(n_ranks=2, n_band_groups=2).run(resume_from=ckpt)
+
+
+class TestTelemetry:
+    def test_spans_tag_resources_by_band_group(self):
+        from repro.obs import SpanTracer
+
+        tracer = SpanTracer()
+        band_scf(n_ranks=4, n_band_groups=2, max_iterations=1).run(
+            step_tracer=tracer
+        )
+        spans = tracer.spans()
+        resources = {s.resource for s in spans}
+        assert {"bg0.rank0.w0", "bg0.rank1.w0", "bg1.rank0.w0", "bg1.rank1.w0"} <= resources
+        kinds = {s.step_kind for s in spans}
+        assert {"RingSendRecv", "PartialGemm", "WaitAll"} <= kinds
+
+    def test_single_group_plan_has_no_ring_spans(self):
+        from repro.obs import SpanTracer
+
+        tracer = SpanTracer()
+        band_scf(n_ranks=2, n_band_groups=1, max_iterations=1).run(
+            step_tracer=tracer
+        )
+        kinds = {s.step_kind for s in tracer.spans()}
+        assert "PartialGemm" in kinds
+        assert "RingSendRecv" not in kinds
+
+
+class TestBandAxisSum:
+    def test_sum_is_bitwise_identical_across_peers(self):
+        """Every same-domain peer sums contributions in group order, so
+        redundant per-group work (the Poisson solve on rho) stays in
+        bitwise lockstep across groups."""
+        lay = BandGroups(n_ranks=4, n_bands=4, n_groups=2)
+        rng = np.random.default_rng(11)
+        contribs = rng.standard_normal((4, 5, 5, 5))
+
+        def fn(ep):
+            return band_axis_sum(ep, lay, contribs[ep.rank].copy())
+
+        results = run_ranks(4, fn)
+        for domain in (0, 1):
+            peers = [lay.rank_of(g, domain) for g in (0, 1)]
+            want = contribs[peers[0]] + contribs[peers[1]]
+            np.testing.assert_array_equal(results[peers[0]], results[peers[1]])
+            np.testing.assert_allclose(results[peers[0]], want, rtol=1e-15)
+
+    def test_single_group_is_identity(self):
+        lay = BandGroups(n_ranks=2, n_bands=4, n_groups=1)
+        arr = np.arange(8.0).reshape(2, 2, 2)
+
+        def fn(ep):
+            return band_axis_sum(ep, lay, arr.copy())
+
+        for out in run_ranks(2, fn):
+            np.testing.assert_array_equal(out, arr)

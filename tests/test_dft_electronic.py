@@ -135,6 +135,30 @@ class TestOrthogonalization:
         states = lowdin(gd, self.make_states(gd))
         np.testing.assert_allclose(overlap_matrix(gd, states), np.eye(4), atol=1e-10)
 
+    def test_overlap_matrix_is_bitwise_hermitian(self):
+        """The blocked build computes the lower triangle and reflects it,
+        so symmetry holds to the bit, not just to round-off."""
+        gd = GridDescriptor((9, 8, 7), spacing=0.4)
+        s = overlap_matrix(gd, self.make_states(gd, n=5, seed=3))
+        assert (s == s.conj().T).all()
+
+    def test_overlap_matrix_matches_naive_gram(self):
+        gd = GridDescriptor((8, 8, 8), spacing=0.35)
+        states = self.make_states(gd, n=6, seed=1)
+        flat = states.reshape(6, -1)
+        naive = (flat.conj() @ flat.T) * gd.spacing**3
+        np.testing.assert_allclose(
+            overlap_matrix(gd, states), naive, rtol=1e-13, atol=1e-13
+        )
+
+    def test_overlap_matrix_single_state(self):
+        gd = GridDescriptor((6, 6, 6), spacing=0.5)
+        states = self.make_states(gd, n=1)
+        s = overlap_matrix(gd, states)
+        assert s.shape == (1, 1)
+        want = np.vdot(states[0], states[0]) * gd.spacing**3
+        assert s[0, 0] == pytest.approx(want, rel=1e-13)
+
     def test_gram_schmidt_preserves_first_direction(self):
         gd = GridDescriptor((8, 8, 8), spacing=0.3)
         states = self.make_states(gd)

@@ -1,0 +1,83 @@
+"""The 2D grid x band rank layout: mapping, ring, and validation.
+
+Every plane (functional SCF, DES replay, analytic model) shares one
+``BandGroups`` instance; these tests pin the bookkeeping they rely on —
+contiguous groups, rank round-trips, group-ordered band peers — and the
+typed divisibility errors that name the offending values.
+"""
+
+import pytest
+
+from repro.grid import BandGroups
+
+
+class TestValidation:
+    def test_bands_must_divide_by_groups(self):
+        with pytest.raises(ValueError, match=r"n_bands \(6\).*band groups \(4\)"):
+            BandGroups(n_ranks=8, n_bands=6, n_groups=4)
+
+    def test_ranks_must_divide_by_groups(self):
+        with pytest.raises(ValueError, match=r"n_ranks \(6\).*band groups \(4\)"):
+            BandGroups(n_ranks=6, n_bands=8, n_groups=4)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(n_ranks=0, n_bands=4, n_groups=1),
+        dict(n_ranks=4, n_bands=0, n_groups=1),
+        dict(n_ranks=4, n_bands=4, n_groups=0),
+    ])
+    def test_counts_must_be_positive(self, kwargs):
+        with pytest.raises(ValueError, match=">= 1"):
+            BandGroups(**kwargs)
+
+    def test_single_group_always_valid(self):
+        lay = BandGroups(n_ranks=7, n_bands=13, n_groups=1)
+        assert lay.ranks_per_group == 7
+        assert lay.bands_per_group == 13
+
+
+class TestRankMapping:
+    lay = BandGroups(n_ranks=8, n_bands=8, n_groups=2)
+
+    def test_groups_are_contiguous_rank_ranges(self):
+        assert [self.lay.group_of(r) for r in range(8)] == [0] * 4 + [1] * 4
+
+    def test_rank_roundtrip(self):
+        for rank in range(self.lay.n_ranks):
+            g, d = self.lay.group_of(rank), self.lay.domain_of(rank)
+            assert self.lay.rank_of(g, d) == rank
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="rank"):
+            self.lay.group_of(8)
+        with pytest.raises(ValueError, match="domain"):
+            self.lay.rank_of(0, 4)
+        with pytest.raises(ValueError, match="group"):
+            self.lay.rank_of(2, 0)
+
+    def test_bands_of_partitions_the_band_set(self):
+        lay = BandGroups(n_ranks=12, n_bands=6, n_groups=3)
+        owned = [b for g in range(3) for b in lay.bands_of(g)]
+        assert owned == list(range(6))
+        assert list(lay.bands_of(1)) == [2, 3]
+        for b in range(6):
+            assert b in lay.bands_of(lay.group_of_band(b))
+
+
+class TestRing:
+    def test_ring_neighbours_wrap(self):
+        lay = BandGroups(n_ranks=12, n_bands=6, n_groups=3)
+        assert [lay.ring_send_group(g) for g in range(3)] == [1, 2, 0]
+        assert [lay.ring_recv_group(g) for g in range(3)] == [2, 0, 1]
+
+    def test_band_peers_hold_same_domain_in_group_order(self):
+        lay = BandGroups(n_ranks=12, n_bands=6, n_groups=3)
+        peers = lay.band_peers(5)  # group 1, domain 1
+        assert peers == [1, 5, 9]
+        assert all(lay.domain_of(p) == 1 for p in peers)
+        assert [lay.group_of(p) for p in peers] == [0, 1, 2]
+
+    def test_single_group_ring_is_self(self):
+        lay = BandGroups(n_ranks=4, n_bands=4, n_groups=1)
+        assert lay.ring_send_group(0) == 0
+        assert lay.ring_recv_group(0) == 0
+        assert lay.band_peers(2) == [2]

@@ -117,6 +117,54 @@ def measure(n=32, batch=64, repeats=5):
     }
 
 
+def measure_orthogonalization(n=32, bands=64, repeats=3):
+    """Naive vs blocked-GEMM orthogonalization of one band set.
+
+    ``naive`` is the library's modified Gram-Schmidt — the per-pair
+    BLAS-1 formulation (one ``vdot`` + one axpy per band pair, a Python
+    loop over ``bands^2/2`` pairs).  ``blocked`` is the Löwdin path the
+    band-parallel SCF uses: the symmetric blocked-GEMM overlap matrix
+    (lower triangle + reflect) plus one GEMM rotation.  Both orthonormalize
+    the same random band set; rates count processed state points.  The
+    acceptance bar for the band-parallelization PR is ``ortho_speedup >=
+    1.5`` on the full run (32^3 x 64 bands).
+    """
+    from repro.dft.orthogonalize import gram_schmidt, lowdin, overlap_matrix
+
+    gd = GridDescriptor((n, n, n))
+    rng = np.random.default_rng(1)
+    states = rng.standard_normal((bands, n, n, n))
+    points = bands * n ** 3
+
+    def run_naive():
+        return gram_schmidt(gd, states)
+
+    def run_blocked():
+        return lowdin(gd, states)
+
+    # correctness cross-check before timing: both paths must produce an
+    # orthonormal set, and the blocked overlap must be bitwise symmetric
+    eye = np.eye(bands)
+    for out in (run_naive(), run_blocked()):
+        s = overlap_matrix(gd, out)
+        np.testing.assert_allclose(s, eye, atol=1e-10)
+        assert (s == s.conj().T).all(), "overlap matrix not bitwise symmetric"
+
+    rates = {
+        "naive_gram_schmidt": best_rate(run_naive, points, repeats),
+        "blocked_gemm_lowdin": best_rate(run_blocked, points, repeats),
+    }
+    return {
+        "block": [n, n, n],
+        "bands": bands,
+        "repeats": repeats,
+        "mpoints_per_s": {k: round(v, 1) for k, v in rates.items()},
+        "ortho_speedup": round(
+            rates["blocked_gemm_lowdin"] / rates["naive_gram_schmidt"], 3
+        ),
+    }
+
+
 def measure_plan_cache(n=32, n_grids=16, iterations=10, repeats=3):
     """Cold-compile vs cached re-execution over SCF-style iterations.
 
@@ -224,16 +272,17 @@ def measure_telemetry(n=32, n_grids=8, iterations=10, repeats=5,
     run_disabled()  # warm buffers, kernels and the plan cache
     run_enabled()
 
-    def best_seconds(fn):
-        best = float("inf")
-        for _ in range(repeats):
-            t0 = time.perf_counter()
-            fn()
-            best = min(best, time.perf_counter() - t0)
-        return best
-
-    disabled = best_seconds(run_disabled)
-    enabled = best_seconds(run_enabled)
+    # interleave the repeats: measuring all disabled runs then all enabled
+    # runs lets host-load drift between the two phases masquerade as
+    # telemetry overhead; alternating keeps the best-of pair comparable
+    disabled = enabled = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        run_disabled()
+        disabled = min(disabled, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        run_enabled()
+        enabled = min(enabled, time.perf_counter() - t0)
     overhead = enabled / disabled - 1.0
     return {
         "block": [n, n, n],
@@ -260,10 +309,14 @@ def main(argv=None) -> int:
         result = measure(n=16, batch=4, repeats=2)
         result["plan_cache"] = measure_plan_cache(n=16, n_grids=4, repeats=2)
         result["telemetry"] = measure_telemetry(n=16, n_grids=4, repeats=3)
+        result["orthogonalization"] = measure_orthogonalization(
+            n=16, bands=16, repeats=2
+        )
     else:
         result = measure()
         result["plan_cache"] = measure_plan_cache()
         result["telemetry"] = measure_telemetry()
+        result["orthogonalization"] = measure_orthogonalization()
     result["mode"] = "smoke" if args.smoke else "full"
     result["host"] = {
         "machine": platform.machine(),
@@ -289,6 +342,12 @@ def main(argv=None) -> int:
     print(f"  telemetry: {tel['disabled_ms']:.2f} ms disabled vs "
           f"{tel['enabled_ms']:.2f} ms enabled "
           f"({tel['overhead_pct']:+.2f}% overhead)")
+    ortho = result["orthogonalization"]
+    orates = ortho["mpoints_per_s"]
+    print(f"  orthogonalization ({ortho['bands']} bands): "
+          f"{orates['naive_gram_schmidt']:.1f} Mpoints/s naive vs "
+          f"{orates['blocked_gemm_lowdin']:.1f} Mpoints/s blocked GEMM "
+          f"({ortho['ortho_speedup']:.2f}x)")
 
     if not args.smoke and result["batched_speedup"] < 1.5:
         print("FAIL: batched speedup below the 1.5x acceptance bar",
@@ -302,6 +361,14 @@ def main(argv=None) -> int:
     if tel["overhead_pct"] >= telemetry_bar:
         print(f"FAIL: enabled telemetry costs {tel['overhead_pct']:.2f}% "
               f"on the hot loop (bar: <{telemetry_bar:.0f}%)",
+              file=sys.stderr)
+        return 1
+    # smoke sizes only sanity-check that blocked ortho is not slower;
+    # the 1.5x acceptance ratio is gated on the full run
+    ortho_bar = 0.9 if args.smoke else 1.5
+    if ortho["ortho_speedup"] < ortho_bar:
+        print(f"FAIL: blocked-GEMM orthogonalization speedup "
+              f"{ortho['ortho_speedup']:.2f}x below the {ortho_bar:.1f}x bar",
               file=sys.stderr)
         return 1
     return 0
