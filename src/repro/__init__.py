@@ -31,8 +31,14 @@ from repro.core import (
     FLAT_ORIGINAL,
     HYBRID_MASTER_ONLY,
     HYBRID_MULTIPLE,
+    JobSpec,
+    LayoutSpec,
     PerformanceModel,
+    Planner,
+    ProblemSpec,
+    RuntimeSpec,
     SequentialStencil,
+    SpecMismatchError,
     WholeAppModel,
     approach_by_name,
     simulate_fd,
@@ -54,8 +60,14 @@ __all__ = [
     "FLAT_ORIGINAL",
     "HYBRID_MASTER_ONLY",
     "HYBRID_MULTIPLE",
+    "JobSpec",
+    "LayoutSpec",
     "PerformanceModel",
+    "Planner",
+    "ProblemSpec",
+    "RuntimeSpec",
     "SequentialStencil",
+    "SpecMismatchError",
     "WholeAppModel",
     "approach_by_name",
     "simulate_fd",

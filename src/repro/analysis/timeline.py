@@ -151,20 +151,39 @@ def step_trace_for(
     batch_size: int = 1,
     ramp_up: bool = False,
 ) -> SpanTracer:
-    """Dispatch to the named plane's tracer with identical configuration."""
+    """Dispatch to the named plane's tracer with identical configuration.
+
+    Every returned tracer carries the
+    :meth:`~repro.core.jobspec.JobSpec.config_hash` of the traced
+    configuration, so exported artifacts from different planes of the
+    same run are mechanically linkable.
+    """
     if plane == "real":
-        return real_step_trace(
+        tracer = real_step_trace(
             approach, n_cores, n_grids, shape, batch_size, ramp_up
         )
-    if plane == "sim":
-        return sim_step_trace(
+    elif plane == "sim":
+        tracer = sim_step_trace(
             approach, n_cores, n_grids, shape, batch_size, ramp_up
         )
-    if plane == "model":
-        return model_step_trace(
+    elif plane == "model":
+        tracer = model_step_trace(
             approach, n_cores, n_grids, shape, batch_size, ramp_up
         )
-    raise ValueError(f"unknown plane {plane!r}; expected one of {PLANES}")
+    else:
+        raise ValueError(f"unknown plane {plane!r}; expected one of {PLANES}")
+    from repro.core.jobspec import JobSpec, LayoutSpec, ProblemSpec
+
+    tracer.config_hash = JobSpec(
+        problem=ProblemSpec(shape=tuple(shape), n_grids=n_grids),
+        layout=LayoutSpec(
+            approach=_resolve(approach).name,
+            n_cores=n_cores,
+            batch_size=batch_size,
+            ramp_up=ramp_up,
+        ),
+    ).config_hash()
+    return tracer
 
 
 def timeline_panel(

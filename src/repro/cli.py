@@ -18,6 +18,11 @@ Usage::
     python -m repro trace --diff real:sim
     python -m repro timeline --planes real sim model
     python -m repro metrics           # instrumented SCF -> metrics snapshot
+    python -m repro plan --cores 16384   # rank every feasible configuration
+
+The shared ``--approach/--cores/--grids/--batch-size/--shape`` options
+are declared once, from :data:`repro.core.jobspec.CLI_KNOBS`; each
+subcommand only names the knobs it takes and their defaults.
 
 Every command prints the same rows the corresponding benchmark asserts
 on; this is the interactive face of ``pytest benchmarks/``.
@@ -48,6 +53,7 @@ from repro.core import (
     WholeAppModel,
     simulate_fd,
 )
+from repro.core.jobspec import add_spec_cli
 from repro.grid import GridDescriptor
 from repro.util.units import MB
 
@@ -149,7 +155,7 @@ def _cmd_ablation(_args: argparse.Namespace) -> str:
 
 def _cmd_wholeapp(args: argparse.Namespace) -> str:
     model = WholeAppModel()
-    job = FDJob(GridDescriptor((192, 192, 192)), args.bands)
+    job = FDJob(GridDescriptor((192, 192, 192)), args.grids)
     rows = []
     for cores in (1024, 4096, 16384):
         f = model.original(job, cores).fractions()
@@ -161,7 +167,7 @@ def _cmd_wholeapp(args: argparse.Namespace) -> str:
     return format_table(
         ["cores", "FD share", "subspace share", "FD-only", "Amdahl", "full rewrite"],
         rows,
-        title=f"Section VIII-A — whole application, {args.bands} bands of 192^3",
+        title=f"Section VIII-A — whole application, {args.grids} bands of 192^3",
     )
 
 
@@ -190,7 +196,7 @@ def _cmd_bandpar(args: argparse.Namespace) -> str:
     from repro.core.bandpar import BandParallelModel
 
     model = BandParallelModel()
-    job = FDJob(GridDescriptor(tuple(args.shape)), args.bands)
+    job = FDJob(GridDescriptor(tuple(args.shape)), args.grids)
     timings = model.sweep(job, args.cores, max_groups=args.max_groups)
     rows = [
         [
@@ -206,7 +212,7 @@ def _cmd_bandpar(args: argparse.Namespace) -> str:
         ["band groups", "FD ms", "GEMM ms", "ring ms", "step ms"],
         rows,
         title=(
-            f"2D grid x band decomposition — {args.bands} bands of "
+            f"2D grid x band decomposition — {args.grids} bands of "
             f"{'x'.join(str(s) for s in args.shape)} on {args.cores} cores"
         ),
     )
@@ -215,6 +221,61 @@ def _cmd_bandpar(args: argparse.Namespace) -> str:
         f"\nmodeled best nb = {best.n_band_groups} at {args.cores} cores "
         f"({best.total * 1e3:.3f} ms per step)"
     )
+
+
+def _cmd_plan(args: argparse.Namespace) -> str:
+    """Rank every feasible configuration of a problem at a core count."""
+    from repro.core.jobspec import ProblemSpec
+    from repro.core.planner import Planner
+
+    problem = ProblemSpec(shape=tuple(args.shape), n_grids=args.grids)
+    result = Planner().rank(
+        problem,
+        args.cores,
+        max_groups=args.max_groups,
+        approaches=[args.approach] if args.approach else None,
+        des_top_k=args.des_check,
+    )
+    headers = ["rank", "approach", "batch", "nb", "FD ms", "subspace ms",
+               "step ms"]
+    if args.des_check:
+        headers.append("DES ms")
+    rows = []
+    for ch in result.choices[: args.top]:
+        lay = ch.spec.layout
+        row = [
+            ch.rank, lay.approach, lay.batch_size, lay.n_band_groups,
+            f"{ch.fd_time * 1e3:.3f}",
+            f"{ch.subspace_time * 1e3:.3f}",
+            f"{ch.predicted_time * 1e3:.3f}",
+        ]
+        if args.des_check:
+            row.append(
+                "-" if ch.des_time is None else f"{ch.des_time * 1e3:.3f}"
+            )
+        rows.append(row)
+    table = format_table(
+        headers, rows,
+        title=(
+            f"planner — {args.grids} grids of "
+            f"{'x'.join(str(s) for s in args.shape)} on {args.cores} cores"
+        ),
+    )
+    lines = [table]
+    if len(result.choices) > args.top:
+        lines.append(
+            f"({len(result.choices) - args.top} more feasible choices not shown)"
+        )
+    for r in result.rejected:
+        lines.append(f"rejected {r.approach} nb={r.n_band_groups}: {r.reason}")
+    best = result.best()
+    lay = best.spec.layout
+    lines.append(
+        f"planner best: {lay.approach} batch={lay.batch_size} "
+        f"nb={lay.n_band_groups} — {best.predicted_time * 1e3:.3f} ms per "
+        f"step (config {best.spec.config_hash()})"
+    )
+    return "\n".join(lines)
 
 
 def _cmd_calibrate(args: argparse.Namespace) -> str:
@@ -280,10 +341,10 @@ def _cmd_mtbf(args: argparse.Namespace) -> str:
     """Daly checkpoint-cadence sweep at paper scale."""
     from repro.analysis.resilience import format_mtbf_table, mtbf_sweep
 
-    job = FDJob(GridDescriptor(tuple(args.shape)), args.bands)
+    job = FDJob(GridDescriptor(tuple(args.shape)), args.grids)
     rows = mtbf_sweep(job, n_cores=args.cores)
     note = (
-        f"\n(workload: {args.bands} bands of "
+        f"\n(workload: {args.grids} bands of "
         f"{args.shape[0]}^3 on {args.cores} cores)"
     )
     return format_mtbf_table(rows) + note
@@ -391,7 +452,7 @@ def _cmd_report(args: argparse.Namespace) -> str:
         _cmd_fig7(argparse.Namespace(plot=False)),
         _cmd_ablation(args),
         _cmd_headline(args),
-        _cmd_wholeapp(argparse.Namespace(bands=2816)),
+        _cmd_wholeapp(argparse.Namespace(grids=2816)),
         _cmd_validate(argparse.Namespace(cores=32)),
     ]
     banner = (
@@ -420,29 +481,36 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("headline", help="Section VIII headline numbers")
     sub.add_parser("ablation", help="Section VII-A sub-groups ablation")
     pw = sub.add_parser("wholeapp", help="Section VIII-A whole-app outlook")
-    pw.add_argument("--bands", type=int, default=2816)
+    add_spec_cli(pw, {"grids": 2816})
     pv = sub.add_parser("validate", help="model-vs-DES cross-check")
-    pv.add_argument("--cores", type=int, default=32)
+    add_spec_cli(pv, {"cores": 32})
     sub.add_parser("report", help="all experiments in one run")
     sub.add_parser("calibrate", help="re-fit the compute knobs to the anchors")
     pb = sub.add_parser(
         "bandpar", help="band-group sweep of the 2D grid x band model"
     )
-    pb.add_argument("--cores", type=int, default=16384)
-    pb.add_argument("--bands", type=int, default=2816)
-    pb.add_argument("--shape", type=int, nargs=3, default=[192, 192, 192],
-                    metavar=("NX", "NY", "NZ"))
+    add_spec_cli(pb, {"cores": 16384, "grids": 2816, "shape": (192, 192, 192)})
     pb.add_argument("--max-groups", type=int, default=8)
+    pp = sub.add_parser(
+        "plan", help="rank every feasible configuration with the model"
+    )
+    add_spec_cli(pp, {
+        "approach": None, "cores": 16384, "grids": 2816,
+        "shape": (192, 192, 192),
+    })
+    pp.add_argument("--max-groups", type=int, default=8)
+    pp.add_argument("--top", type=int, default=10,
+                    help="ranked rows to print (default 10)")
+    pp.add_argument("--des-check", type=int, default=0, metavar="K",
+                    help="DES-replay the top K choices (small core counts)")
     ps = sub.add_parser(
         "schedule", help="print the compiled schedule IR for an approach"
     )
     ps.add_argument("approach", help="approach name (e.g. flat-optimized)")
-    ps.add_argument("--cores", type=int, default=8)
-    ps.add_argument("--grids", type=int, default=4)
-    ps.add_argument("--batch-size", type=int, default=1)
-    ps.add_argument("--ramp-up", action="store_true")
-    ps.add_argument("--shape", type=int, nargs=3, default=[24, 24, 24],
-                    metavar=("NX", "NY", "NZ"))
+    add_spec_cli(ps, {
+        "cores": 8, "grids": 4, "batch_size": 1, "shape": (24, 24, 24),
+        "ramp_up": False,
+    })
     ps.add_argument("--domain", type=int, default=0,
                     help="which rank's step list to print")
     pc = sub.add_parser(
@@ -456,20 +524,13 @@ def build_parser() -> argparse.ArgumentParser:
     pm = sub.add_parser(
         "mtbf", help="Daly checkpoint-cadence sweep at paper scale"
     )
-    pm.add_argument("--cores", type=int, default=16384)
-    pm.add_argument("--bands", type=int, default=512)
-    pm.add_argument("--shape", type=int, nargs=3, default=[128, 128, 128],
-                    metavar=("NX", "NY", "NZ"))
+    add_spec_cli(pm, {"cores": 16384, "grids": 512, "shape": (128, 128, 128)})
 
     def _trace_config(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--approach", default="hybrid-multiple",
-                       help="approach name (default hybrid-multiple)")
-        p.add_argument("--cores", type=int, default=8)
-        p.add_argument("--grids", type=int, default=4)
-        p.add_argument("--batch-size", type=int, default=2)
-        p.add_argument("--ramp-up", action="store_true")
-        p.add_argument("--shape", type=int, nargs=3, default=[16, 16, 16],
-                       metavar=("NX", "NY", "NZ"))
+        add_spec_cli(p, {
+            "approach": "hybrid-multiple", "cores": 8, "grids": 4,
+            "batch_size": 2, "shape": (16, 16, 16), "ramp_up": False,
+        })
 
     pt = sub.add_parser(
         "trace",
@@ -516,6 +577,7 @@ _COMMANDS = {
     "wholeapp": _cmd_wholeapp,
     "validate": _cmd_validate,
     "bandpar": _cmd_bandpar,
+    "plan": _cmd_plan,
     "report": _cmd_report,
     "calibrate": _cmd_calibrate,
     "schedule": _cmd_schedule,

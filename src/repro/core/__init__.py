@@ -21,6 +21,10 @@ Four programming approaches (section VI), one engine, two planes:
 * :mod:`repro.core.perfmodel` — the closed-form performance model used to
   regenerate the paper's figures at up to 16384 cores; walks the compiled
   plan and is cross-validated against :mod:`repro.core.simrun` by tests.
+* :mod:`repro.core.jobspec` — the typed run configuration
+  (:class:`JobSpec`) every consumer validates through exactly once.
+* :mod:`repro.core.planner` — the model-driven :class:`Planner` that
+  enumerates, prices and ranks feasible configurations.
 """
 
 from repro.core.approaches import (
@@ -49,8 +53,28 @@ from repro.core.schedule import (
 )
 from repro.core.engine import DistributedStencil, SequentialStencil
 from repro.core.workspace import Workspace
+from repro.core.jobspec import (
+    JobSpec,
+    LayoutSpec,
+    ProblemSpec,
+    RuntimeSpec,
+    SpecMismatchError,
+    check_restart_compatible,
+)
 from repro.core.perfmodel import FDJob, PerformanceModel, FDTiming
-from repro.core.simrun import simulate_band_plan, simulate_band_step, simulate_fd
+from repro.core.planner import (
+    Candidate,
+    PlanChoice,
+    Planner,
+    PlanResult,
+    Rejection,
+)
+from repro.core.simrun import (
+    simulate_band_plan,
+    simulate_band_step,
+    simulate_fd,
+    simulate_spec,
+)
 from repro.core.wholeapp import ScfPhaseTimes, WholeAppModel
 from repro.core.memory import (
     fd_memory_per_rank,
@@ -84,12 +108,24 @@ __all__ = [
     "DistributedStencil",
     "SequentialStencil",
     "Workspace",
+    "JobSpec",
+    "LayoutSpec",
+    "ProblemSpec",
+    "RuntimeSpec",
+    "SpecMismatchError",
+    "check_restart_compatible",
+    "Candidate",
+    "PlanChoice",
+    "Planner",
+    "PlanResult",
+    "Rejection",
     "FDJob",
     "PerformanceModel",
     "FDTiming",
     "simulate_band_plan",
     "simulate_band_step",
     "simulate_fd",
+    "simulate_spec",
     "ScfPhaseTimes",
     "WholeAppModel",
     "fd_memory_per_rank",

@@ -140,20 +140,14 @@ class BandParallelModel:
         )
 
     # -- evaluation ---------------------------------------------------------
-    def evaluate(self, job: FDJob, n_cores: int, n_band_groups: int) -> BandParTiming:
-        """Timing of one FD+subspace step with ``n_band_groups`` groups.
+    def subspace_times(self, plan: BandSchedulePlan) -> tuple[float, float]:
+        """``(compute, ring)`` seconds of one group's compiled step list.
 
-        Walks the compiled band plan step by step: every
-        :class:`PartialGemm` is priced at the node's GEMM rate, every
-        :class:`RingSendRecv` at the torus link (one hop to the
-        neighbouring group's partition).
+        Every :class:`PartialGemm` is priced at the node's GEMM rate,
+        every :class:`RingSendRecv` at the torus link (one hop to the
+        neighbouring group's partition).  Shared with the
+        :class:`~repro.core.planner.Planner`, which walks the same plans.
         """
-        nb = self._validate(job, n_cores, n_band_groups)
-        group_cores = n_cores // nb
-        group_job = FDJob(job.grid, job.n_grids // nb)
-        fd = self.fd_model.best_batch_size(group_job, HYBRID_MULTIPLE, group_cores)
-
-        plan = self.band_plan(job, n_cores, n_band_groups)
         rate = self.spec.node.core.peak_flops * WholeAppModel.GEMM_EFFICIENCY
         compute = 0.0
         ring = 0.0
@@ -162,12 +156,60 @@ class BandParallelModel:
                 compute += st.flops / rate
             elif isinstance(st, RingSendRecv):
                 ring += self.spec.torus.message_time(st.nbytes, hops=1)
+        return compute, ring
+
+    def evaluate(
+        self,
+        job: FDJob,
+        n_cores: int,
+        n_band_groups: int,
+        batch_size: int | None = None,
+    ) -> BandParTiming:
+        """Timing of one FD+subspace step with ``n_band_groups`` groups.
+
+        ``batch_size=None`` (the default) searches for the best batch per
+        group, matching the paper's per-configuration tuning; an explicit
+        batch prices exactly that configuration (the planner's use).
+        """
+        nb = self._validate(job, n_cores, n_band_groups)
+        group_cores = n_cores // nb
+        group_job = FDJob(job.grid, job.n_grids // nb)
+        if batch_size is None:
+            fd = self.fd_model.best_batch_size(
+                group_job, HYBRID_MULTIPLE, group_cores
+            )
+        else:
+            fd = self.fd_model.evaluate(
+                group_job, HYBRID_MULTIPLE, group_cores, batch_size
+            )
+
+        plan = self.band_plan(job, n_cores, n_band_groups)
+        compute, ring = self.subspace_times(plan)
 
         return BandParTiming(
             n_band_groups=nb,
             fd=fd.total,
             subspace_compute=compute,
             subspace_ring_comm=ring,
+        )
+
+    def evaluate_spec(self, spec) -> BandParTiming:
+        """Evaluate a :class:`~repro.core.jobspec.JobSpec` configuration.
+
+        The FD step of every band group runs the hybrid-multiple schedule
+        (the layout this extension assumes), so the spec's approach must
+        be ``hybrid-multiple`` when ``n_band_groups > 1``.
+        """
+        if spec.layout.n_band_groups > 1 and spec.layout.approach != "hybrid-multiple":
+            raise ValueError(
+                "band-parallel layouts run the hybrid-multiple schedule; "
+                f"got approach {spec.layout.approach!r}"
+            )
+        return self.evaluate(
+            spec.fd_job(),
+            spec.layout.n_cores,
+            spec.layout.n_band_groups,
+            batch_size=spec.layout.batch_size,
         )
 
     def sweep(self, job: FDJob, n_cores: int, max_groups: int = 8) -> list[BandParTiming]:

@@ -524,7 +524,46 @@ class PerformanceModel:
             return float(per_domain)
         return float(per_domain * (min(4, n_cores) if n_cores >= 4 else n_cores))
 
+    # -- JobSpec entry point -----------------------------------------------------
+    def evaluate_spec(self, spec) -> FDTiming:
+        """Evaluate a validated :class:`~repro.core.jobspec.JobSpec`.
+
+        Single-band-group specs only — with ``n_band_groups > 1`` the FD
+        step belongs to :meth:`repro.core.bandpar.BandParallelModel
+        .evaluate_spec`, which prices the per-group job this model cannot
+        see from a flat argument list.
+        """
+        if spec.layout.n_band_groups != 1:
+            raise ValueError(
+                "PerformanceModel.evaluate_spec needs n_band_groups == 1; "
+                "use BandParallelModel.evaluate_spec for band-parallel specs"
+            )
+        return self.evaluate(
+            spec.fd_job(),
+            spec.approach_obj(),
+            spec.layout.n_cores,
+            spec.layout.batch_size,
+            ramp_up=spec.layout.ramp_up,
+        )
+
     # -- batch-size search -------------------------------------------------------
+    def batch_candidates(
+        self, job: FDJob, approach: Approach, n_cores: int
+    ) -> list[int]:
+        """Default batch-size candidates: powers of two up to the grids
+        available per compute unit.  Shared by :meth:`best_batch_size` and
+        the :class:`~repro.core.planner.Planner`, so both search the same
+        space."""
+        if not approach.supports_batching:
+            return [1]
+        per_unit = job.n_grids
+        if approach.is_hybrid and not approach.sync_per_grid:
+            per_unit = max(1, job.n_grids // min(4, n_cores))
+        candidates = [1]
+        while candidates[-1] * 2 <= per_unit:
+            candidates.append(candidates[-1] * 2)
+        return candidates
+
     def best_batch_size(
         self,
         job: FDJob,
@@ -536,18 +575,12 @@ class PerformanceModel:
         """The fastest timing over candidate batch sizes.
 
         The paper finds "the best batch-size" per configuration (Figs 6, 7);
-        default candidates are powers of two up to the grids available per
-        compute unit.
+        default candidates come from :meth:`batch_candidates`.
         """
         if not approach.supports_batching:
             return self.evaluate(job, approach, n_cores, 1)
         if candidates is None:
-            per_unit = job.n_grids
-            if approach.is_hybrid and not approach.sync_per_grid:
-                per_unit = max(1, job.n_grids // min(4, n_cores))
-            candidates = [1]
-            while candidates[-1] * 2 <= per_unit:
-                candidates.append(candidates[-1] * 2)
+            candidates = self.batch_candidates(job, approach, n_cores)
         best: Optional[FDTiming] = None
         for b in candidates:
             t = self.evaluate(job, approach, n_cores, b, ramp_up=ramp_up)

@@ -1,0 +1,304 @@
+"""Model-driven configuration selection: which configuration wins?
+
+The paper's central question — approach x batch size x band groups at a
+given core count (sections IV-VII) — answered by one component instead of
+per-figure driver code.  The :class:`Planner` enumerates every feasible
+candidate for a :class:`~repro.core.jobspec.ProblemSpec` at a core count,
+prices each one by walking its *compiled* schedule plans through the
+analytic models (:class:`~repro.core.perfmodel.PerformanceModel` for the
+FD invocation, :meth:`~repro.core.bandpar.BandParallelModel
+.subspace_times` for the ring orthogonalization), and returns the ranked
+:class:`PlanChoice` list plus the reason every infeasible candidate was
+rejected — memory, divisibility, whole-node constraints.
+
+The ranking metric is one *SCF-relevant step*, uniform across all
+candidates so flat, hybrid and band-parallel layouts compare on one axis:
+
+    ``FD_APPLICATIONS_PER_SCF * fd + max(subspace_compute, subspace_ring)``
+
+which for ``n_band_groups > 1`` is exactly
+:attr:`~repro.core.bandpar.BandParTiming.total`, and for ``nb = 1`` adds
+the same (candidate-independent) degenerate GEMM term to every approach —
+so within a core count the argmin agrees with the per-figure sweeps the
+repo already pins.
+
+:meth:`Planner.cross_check` replays a choice's plans through the DES
+(:func:`~repro.core.simrun.simulate_fd` + :func:`~repro.core.simrun
+.simulate_band_plan`) — feasible at small core counts, where tests hold
+it to the repo's existing <= 5% model-vs-DES tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.approaches import ALL_APPROACHES, approach_by_name
+from repro.core.bandpar import BandParallelModel
+from repro.core.jobspec import JobSpec, LayoutSpec, ProblemSpec
+from repro.core.memory import fd_memory_per_rank, memory_limit_per_rank
+from repro.core.perfmodel import FDJob, PerformanceModel
+from repro.core.schedule import BandSchedulePlan, compile_band_schedule
+from repro.core.wholeapp import WholeAppModel
+from repro.grid.bandgroups import BandGroups
+from repro.machine.spec import BGP_SPEC, MachineSpec
+
+__all__ = ["Candidate", "Rejection", "PlanChoice", "PlanResult", "Planner"]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One (approach, batch, band groups) configuration to price."""
+
+    approach: str
+    batch_size: int
+    n_band_groups: int
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """Why a candidate family never reached the ranking."""
+
+    approach: str
+    n_band_groups: int
+    reason: str
+
+
+@dataclass
+class PlanChoice:
+    """One ranked feasible configuration with its predicted step time."""
+
+    spec: JobSpec
+    #: seconds of one SCF-relevant step (the ranking metric)
+    predicted_time: float
+    #: one FD invocation of the candidate's (per-group) job
+    fd_time: float
+    #: exposed subspace seconds: max(gemm, ring)
+    subspace_time: float
+    subspace_compute: float
+    subspace_ring: float
+    rank: int = 0
+    #: DES replay of the same plans (filled by ``des_top_k``/``cross_check``)
+    des_time: Optional[float] = None
+
+    @property
+    def model_vs_des(self) -> Optional[float]:
+        """``predicted/des`` ratio, ``None`` until cross-checked."""
+        if self.des_time is None or self.des_time <= 0:
+            return None
+        return self.predicted_time / self.des_time
+
+
+@dataclass
+class PlanResult:
+    """Ranked feasible choices plus every rejection, for one problem."""
+
+    problem: ProblemSpec
+    n_cores: int
+    choices: list[PlanChoice] = field(default_factory=list)
+    rejected: list[Rejection] = field(default_factory=list)
+
+    def best(self) -> PlanChoice:
+        if not self.choices:
+            raise ValueError(
+                "no feasible configuration; rejections: "
+                + "; ".join(f"{r.approach} nb={r.n_band_groups}: {r.reason}"
+                            for r in self.rejected)
+            )
+        return self.choices[0]
+
+
+class Planner:
+    """Enumerate, price and rank configurations on a calibrated machine."""
+
+    def __init__(self, spec: MachineSpec = BGP_SPEC):
+        self.machine = spec
+        self.fd_model = PerformanceModel(spec)
+        self.band_model = BandParallelModel(spec)
+
+    # -- enumeration -------------------------------------------------------
+    def enumerate(
+        self,
+        problem: ProblemSpec,
+        n_cores: int,
+        max_groups: int = 8,
+        approaches: Optional[Sequence[str]] = None,
+    ) -> tuple[list[Candidate], list[Rejection]]:
+        """All feasible candidates plus the rejections, in stable order.
+
+        Band groups are powers of two up to ``max_groups`` and only apply
+        to hybrid-multiple (the layout the band-parallel extension
+        assumes); batch sizes come from
+        :meth:`~repro.core.perfmodel.PerformanceModel.batch_candidates`,
+        the same space ``best_batch_size`` searches.
+        """
+        names = list(approaches) if approaches else [a.name for a in ALL_APPROACHES]
+        job = problem.fd_job()
+        feasible: list[Candidate] = []
+        rejected: list[Rejection] = []
+        for name in names:
+            a = approach_by_name(name)
+            if a.is_hybrid and n_cores >= 4 and n_cores % 4:
+                rejected.append(Rejection(
+                    name, 1, f"hybrid modes need whole nodes, got {n_cores} cores"
+                ))
+                continue
+            nb_values = [1]
+            if name == "hybrid-multiple":
+                nb = 2
+                while nb <= max_groups:
+                    nb_values.append(nb)
+                    nb *= 2
+            for nb in nb_values:
+                if nb > 1:
+                    if problem.n_grids % nb:
+                        rejected.append(Rejection(name, nb, (
+                            f"n_grids ({problem.n_grids}) must be divisible "
+                            f"by band groups ({nb})"
+                        )))
+                        continue
+                    if n_cores % (4 * nb):
+                        rejected.append(Rejection(name, nb, (
+                            f"n_cores ({n_cores}) must be divisible by "
+                            f"4 cores/node x {nb} band groups"
+                        )))
+                        continue
+                group_cores = n_cores // nb
+                group_job = FDJob(job.grid, job.n_grids // nb)
+                need = fd_memory_per_rank(group_job, a, group_cores, self.machine)
+                limit = memory_limit_per_rank(a, group_cores, self.machine)
+                if need > limit:
+                    rejected.append(Rejection(name, nb, (
+                        f"working set {need / 2**20:.0f} MiB/rank exceeds "
+                        f"the {limit / 2**20:.0f} MiB per-rank memory"
+                    )))
+                    continue
+                for b in self.fd_model.batch_candidates(group_job, a, group_cores):
+                    feasible.append(Candidate(name, b, nb))
+        return feasible, rejected
+
+    # -- pricing -----------------------------------------------------------
+    def _band_plan(
+        self, problem: ProblemSpec, n_cores: int, nb: int
+    ) -> BandSchedulePlan:
+        """The compiled ring plan a candidate's subspace step walks.
+
+        For layouts the band model validates (whole nodes) this *is*
+        :meth:`BandParallelModel.band_plan` — same cache key, same object.
+        ``nb = 1`` on partial nodes (small flat runs) degenerates to the
+        two-GEMM plan with no ring steps, compiled directly.
+        """
+        job = problem.fd_job()
+        if n_cores >= 4 and n_cores % (4 * nb) == 0:
+            return self.band_model.band_plan(job, n_cores, nb)
+        grid = problem.grid()
+        layout = BandGroups(n_ranks=n_cores, n_bands=problem.n_grids, n_groups=nb)
+        gemm_points = max(1, round(grid.n_points * nb / n_cores))
+        return compile_band_schedule(
+            layout, gemm_points, gemm_points, grid.bytes_per_point
+        )
+
+    def evaluate(
+        self, problem: ProblemSpec, n_cores: int, candidate: Candidate
+    ) -> PlanChoice:
+        """Price one candidate: compiled FD plan + compiled ring plan."""
+        nb = candidate.n_band_groups
+        a = approach_by_name(candidate.approach)
+        spec = JobSpec(
+            problem=problem,
+            layout=LayoutSpec(
+                approach=candidate.approach,
+                n_cores=n_cores,
+                batch_size=candidate.batch_size,
+                n_band_groups=nb,
+            ),
+        )
+        fd = self.fd_model.evaluate(
+            spec.group_job(), a, spec.group_cores, candidate.batch_size
+        )
+        compute, ring = self.band_model.subspace_times(
+            self._band_plan(problem, n_cores, nb)
+        )
+        subspace = max(compute, ring)
+        return PlanChoice(
+            spec=spec,
+            predicted_time=fd.total * WholeAppModel.FD_APPLICATIONS_PER_SCF
+            + subspace,
+            fd_time=fd.total,
+            subspace_time=subspace,
+            subspace_compute=compute,
+            subspace_ring=ring,
+        )
+
+    # -- ranking -----------------------------------------------------------
+    def rank(
+        self,
+        problem: ProblemSpec,
+        n_cores: int,
+        max_groups: int = 8,
+        approaches: Optional[Sequence[str]] = None,
+        des_top_k: int = 0,
+    ) -> PlanResult:
+        """Enumerate, price and sort every candidate (fastest first).
+
+        A candidate whose plan compilation fails (e.g. a decomposition
+        finer than the grid) turns into a rejection rather than an error.
+        ``des_top_k > 0`` additionally replays the top-k choices through
+        the DES and records their ``des_time`` — intended for small core
+        counts, where the replay is tractable.
+        """
+        candidates, rejected = self.enumerate(
+            problem, n_cores, max_groups=max_groups, approaches=approaches
+        )
+        choices: list[PlanChoice] = []
+        for c in candidates:
+            try:
+                choices.append(self.evaluate(problem, n_cores, c))
+            except ValueError as exc:
+                rejected.append(Rejection(c.approach, c.n_band_groups, str(exc)))
+        choices.sort(key=lambda ch: ch.predicted_time)
+        for i, ch in enumerate(choices):
+            ch.rank = i + 1
+        for ch in choices[:des_top_k]:
+            ch.des_time = self.cross_check(ch)
+        return PlanResult(
+            problem=problem, n_cores=n_cores, choices=choices, rejected=rejected
+        )
+
+    def best(
+        self,
+        problem: ProblemSpec,
+        n_cores: int,
+        max_groups: int = 8,
+        approaches: Optional[Sequence[str]] = None,
+    ) -> PlanChoice:
+        """The fastest feasible configuration (the ``repro plan`` verdict)."""
+        return self.rank(
+            problem, n_cores, max_groups=max_groups, approaches=approaches
+        ).best()
+
+    # -- DES cross-check ---------------------------------------------------
+    def cross_check(self, choice: PlanChoice) -> float:
+        """DES seconds of the choice's SCF-relevant step.
+
+        Replays the *same* compiled plans the analytic pricing walked:
+        one group's FD invocation through :func:`simulate_fd` and the
+        ring plan through :func:`simulate_band_plan`, combined with the
+        same step formula.  Event-heavy — use at small core counts.
+        """
+        from repro.core.simrun import simulate_band_plan, simulate_fd
+
+        spec = choice.spec
+        fd = simulate_fd(
+            spec.group_job(),
+            spec.approach_obj(),
+            spec.group_cores,
+            batch_size=spec.layout.batch_size,
+            spec=self.machine,
+        )
+        band = simulate_band_plan(
+            self._band_plan(spec.problem, spec.layout.n_cores,
+                            spec.layout.n_band_groups),
+            spec=self.machine,
+        )
+        return fd.total * WholeAppModel.FD_APPLICATIONS_PER_SCF + band.total

@@ -445,6 +445,38 @@ def simulate_fd(
     ).run()
 
 
+def simulate_spec(
+    jobspec,
+    spec: MachineSpec = BGP_SPEC,
+    placement: str = "auto",
+    trace: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
+    step_tracer: Optional[SpanTracer] = None,
+) -> SimResult:
+    """Replay one FD invocation of a :class:`~repro.core.jobspec.JobSpec`.
+
+    For ``n_band_groups > 1`` the replayed invocation is one band
+    group's (``G/nb`` grids on ``P/nb`` cores — groups run concurrently,
+    so that *is* the step's FD wall time); the ring pass is priced
+    separately via :func:`simulate_band_plan`, which is how
+    :meth:`~repro.core.planner.Planner.cross_check` combines the two.
+    """
+    if step_tracer is not None and getattr(step_tracer, "config_hash", None) is None:
+        step_tracer.config_hash = jobspec.config_hash()
+    return simulate_fd(
+        jobspec.group_job(),
+        jobspec.approach_obj(),
+        jobspec.group_cores,
+        batch_size=jobspec.layout.batch_size,
+        ramp_up=jobspec.layout.ramp_up,
+        spec=spec,
+        placement=placement,
+        trace=trace,
+        fault_plan=fault_plan,
+        step_tracer=step_tracer,
+    )
+
+
 # -- band-parallel replay -----------------------------------------------------
 @dataclass
 class BandSimResult:

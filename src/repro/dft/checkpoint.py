@@ -42,8 +42,9 @@ from repro.grid.redistribute import Transfer, transfer_plan
 #: fields every rank deposits per snapshot
 CHECKPOINT_FIELDS = ("states", "rho_old", "v_h", "v_xc")
 
-#: bump when the snapshot layout changes
-CHECKPOINT_VERSION = 1
+#: bump when the snapshot layout changes (2: snapshots embed the
+#: serialized JobSpec; version-1 snapshots still load, without one)
+CHECKPOINT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -64,6 +65,12 @@ class SCFCheckpoint:
     #: ``n_domains`` counts *all* ranks of the 2D grid x band layout and
     #: each rank's ``states`` stack holds only its group's bands
     n_band_groups: int = 1
+    #: serialized :class:`~repro.core.jobspec.JobSpec` of the writing run
+    #: (``JobSpec.to_dict()``); ``None`` for pre-version-2 snapshots.
+    #: Resume validates it with :func:`~repro.core.jobspec
+    #: .check_restart_compatible` so a mismatched restart is a typed
+    #: error instead of silent state corruption.
+    jobspec: dict | None = None
 
     def field_blocks(self, name: str) -> dict[int, np.ndarray]:
         """Per-rank blocks of one field, e.g. ``field_blocks('v_h')``."""
@@ -181,6 +188,7 @@ class MemoryCheckpointStore(_DepositTelemetry):
         energies: np.ndarray,
         fields: dict[str, np.ndarray],
         n_band_groups: int = 1,
+        jobspec: dict | None = None,
     ) -> bool:
         """Deposit one rank's blocks; True if this commits the snapshot."""
         _validate_payload(fields)
@@ -194,6 +202,7 @@ class MemoryCheckpointStore(_DepositTelemetry):
                     "n_band_groups": n_band_groups,
                     "shape": tuple(shape),
                     "energies": np.array(energies, copy=True),
+                    "jobspec": jobspec,
                     "blocks": {},
                 },
             )
@@ -217,6 +226,7 @@ class MemoryCheckpointStore(_DepositTelemetry):
                     energies=slot["energies"],
                     blocks=slot["blocks"],
                     n_band_groups=slot["n_band_groups"],
+                    jobspec=slot["jobspec"],
                 )
                 del self._pending[iteration]
                 self._committed[iteration] = ckpt
@@ -292,6 +302,7 @@ class FileCheckpointStore(_DepositTelemetry):
         energies: np.ndarray,
         fields: dict[str, np.ndarray],
         n_band_groups: int = 1,
+        jobspec: dict | None = None,
     ) -> bool:
         _validate_payload(fields)
         t0 = time.perf_counter()
@@ -311,6 +322,8 @@ class FileCheckpointStore(_DepositTelemetry):
                     "shape": list(shape),
                     "energies": [float(e) for e in np.atleast_1d(energies)],
                 }
+                if jobspec is not None:
+                    marker["jobspec"] = jobspec
                 self._marker_path(iteration).write_text(json.dumps(marker))
                 self._prune()
         self._record_deposit(fields, time.perf_counter() - t0, committed)
@@ -354,6 +367,7 @@ class FileCheckpointStore(_DepositTelemetry):
             energies=np.asarray(marker["energies"]),
             blocks=blocks,
             n_band_groups=marker.get("n_band_groups", 1),
+            jobspec=marker.get("jobspec"),
         )
 
     def discard_pending(self) -> int:

@@ -46,6 +46,13 @@ import numpy as np
 
 from repro.core.approaches import Approach, FLAT_OPTIMIZED
 from repro.core.engine import DistributedStencil
+from repro.core.jobspec import (
+    JobSpec,
+    LayoutSpec,
+    ProblemSpec,
+    RuntimeSpec,
+    check_restart_compatible,
+)
 from repro.core.schedule import compile_band_schedule
 from repro.core.workspace import Workspace
 from repro.dft.band_ortho import BandRingExecutor, band_axis_sum
@@ -98,10 +105,27 @@ class DistributedSCF:
         metrics=None,
     ):
         grid.check_array(external_potential, "external_potential")
-        if n_bands < 1:
-            raise ValueError(f"n_bands must be >= 1, got {n_bands}")
-        if xc not in ("none", "lda"):
-            raise ValueError(f"xc must be 'none' or 'lda', got {xc!r}")
+        # One validation point: the JobSpec constructors raise the typed
+        # errors (positive counts, known xc, divisible band groups) the
+        # ad-hoc checks used to duplicate per layer.
+        self.spec = JobSpec(
+            problem=ProblemSpec.from_grid(grid, n_bands),
+            layout=LayoutSpec(
+                approach=approach.name,
+                n_cores=n_ranks,
+                n_band_groups=n_band_groups,
+            ),
+            runtime=RuntimeSpec(
+                tolerance=tolerance,
+                max_iterations=max_iterations,
+                band_iterations=band_iterations,
+                mixing=mixing,
+                xc=xc,
+                seed=seed,
+                checkpoint_every=checkpoint_every,
+            ),
+        )
+        self._spec_dict = self.spec.to_dict()
         self.grid = grid
         self.v_ext = external_potential
         self.n_bands = n_bands
@@ -116,8 +140,6 @@ class DistributedSCF:
         self.band_iterations = band_iterations
         self.xc = xc
         self.seed = seed
-        if checkpoint_every < 1:
-            raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
         self.checkpoint_store = checkpoint_store
         self.checkpoint_every = checkpoint_every
         from repro.obs.metrics import resolve_registry
@@ -167,6 +189,44 @@ class DistributedSCF:
         self.pre_sweeps = 2
         self.pre_omega = 2 / 3
         self._pre_inv_diag = 1.0 / (lap.scale(-0.5).center + self.pre_shift)
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: JobSpec,
+        external_potential: np.ndarray,
+        *,
+        occupations: list[float] | None = None,
+        checkpoint_store=None,
+        metrics=None,
+    ) -> "DistributedSCF":
+        """Build the distributed loop straight from a :class:`JobSpec`.
+
+        The spec is carried verbatim (including ``batch_size`` /
+        ``ramp_up``, which the functional plane does not consume but the
+        checkpoint marker and config hash must preserve).
+        """
+        scf = cls(
+            spec.grid(),
+            external_potential,
+            spec.problem.n_grids,
+            spec.layout.n_cores,
+            n_band_groups=spec.layout.n_band_groups,
+            occupations=occupations,
+            mixing=spec.runtime.mixing,
+            tolerance=spec.runtime.tolerance,
+            max_iterations=spec.runtime.max_iterations,
+            band_iterations=spec.runtime.band_iterations,
+            approach=spec.approach_obj(),
+            xc=spec.runtime.xc,
+            seed=spec.runtime.seed,
+            checkpoint_store=checkpoint_store,
+            checkpoint_every=spec.runtime.checkpoint_every,
+            metrics=metrics,
+        )
+        scf.spec = spec
+        scf._spec_dict = spec.to_dict()
+        return scf
 
     # -- distributed primitives (all run inside rank functions) ---------------
     def _apply_h(
@@ -424,6 +484,7 @@ class DistributedSCF:
                         "v_xc": v_xc,
                     },
                     n_band_groups=lay.n_groups,
+                    jobspec=self._spec_dict,
                 )
 
             if report:
@@ -508,6 +569,11 @@ class DistributedSCF:
             transport = InprocTransport(
                 self.layout.n_ranks, metrics=self.metrics
             )
+        if (
+            step_tracer is not None
+            and getattr(step_tracer, "config_hash", None) is None
+        ):
+            step_tracer.config_hash = self.spec.config_hash()
         v_ext_blocks = scatter(self.v_ext, self.decomp, self.halo)
         if resume_from is None:
             # every group draws the same full band set, then keeps its
@@ -564,6 +630,11 @@ class DistributedSCF:
         thread starts.
         """
         lay = self.layout
+        if ckpt.jobspec is not None:
+            # version-2 snapshots carry the writing run's full JobSpec:
+            # one typed comparison replaces the field-by-field checks
+            # below (kept for version-1 markers without a spec)
+            check_restart_compatible(self.spec, JobSpec.from_dict(ckpt.jobspec))
         if tuple(ckpt.shape) != tuple(self.grid.shape):
             raise ValueError(
                 f"checkpoint grid {tuple(ckpt.shape)} does not match "

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.jobspec import JobSpec, ProblemSpec, RuntimeSpec
 from repro.dft.density import density_from_states
 from repro.dft.eigensolver import lowest_eigenstates
 from repro.dft.hamiltonian import Hamiltonian
@@ -62,12 +63,18 @@ class SCFLoop:
         eigensolver: str = "arpack",
     ):
         grid.check_array(external_potential, "external_potential")
-        if n_bands < 1:
-            raise ValueError(f"n_bands must be >= 1, got {n_bands}")
-        if not 0 < mixing <= 1:
-            raise ValueError(f"mixing must be in (0, 1], got {mixing}")
-        if xc not in ("none", "lda"):
-            raise ValueError(f"xc must be 'none' or 'lda', got {xc!r}")
+        # The shared spec constructors carry the validation (positive
+        # band count, mixing in (0, 1], known xc); eigensolver/eig_tol
+        # are sequential-only knobs and stay local.
+        self.spec = JobSpec(
+            problem=ProblemSpec.from_grid(grid, n_bands),
+            runtime=RuntimeSpec(
+                tolerance=tolerance,
+                max_iterations=max_iterations,
+                mixing=mixing,
+                xc=xc,
+            ),
+        )
         if eigensolver not in ("arpack", "rmm-diis"):
             raise ValueError(
                 f"eigensolver must be 'arpack' or 'rmm-diis', got {eigensolver!r}"
@@ -83,6 +90,36 @@ class SCFLoop:
         self.eig_tol = eig_tol
         self.xc = xc
         self.poisson = PoissonSolver(grid, tolerance=1e-8)
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: JobSpec,
+        external_potential: np.ndarray,
+        *,
+        occupations: np.ndarray | list[float] | None = None,
+        eig_tol: float = 1e-7,
+        eigensolver: str = "arpack",
+    ) -> "SCFLoop":
+        """Build the sequential loop from a :class:`JobSpec`.
+
+        Layout fields are ignored (this loop is single-rank); the
+        problem and runtime sections map directly.
+        """
+        scf = cls(
+            spec.grid(),
+            external_potential,
+            spec.problem.n_grids,
+            occupations=occupations,
+            mixing=spec.runtime.mixing,
+            tolerance=spec.runtime.tolerance,
+            max_iterations=spec.runtime.max_iterations,
+            eig_tol=eig_tol,
+            xc=spec.runtime.xc,
+            eigensolver=eigensolver,
+        )
+        scf.spec = spec
+        return scf
 
     def _xc_potential(self, rho: np.ndarray) -> np.ndarray:
         if self.xc == "lda":

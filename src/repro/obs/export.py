@@ -131,6 +131,20 @@ def chrome_trace(trace) -> dict:
     t0 = min((s.start for s in spans), default=0.0)
     resources = sorted({s.resource for s in spans})
     events: list[dict] = []
+    config_hash = getattr(trace, "config_hash", None)
+    if config_hash:
+        # metadata event ("M"): parse_chrome_trace skips it, so the
+        # span round-trip stays lossless while the file still names the
+        # JobSpec configuration that produced it
+        events.append(
+            {
+                "ph": "M",
+                "name": "job_config",
+                "pid": 0,
+                "tid": 0,
+                "args": {"config_hash": config_hash},
+            }
+        )
     pids: dict[str, tuple[int, int]] = {}
     for i, r in enumerate(resources):
         pid, tid = _pid_tid(r, i)

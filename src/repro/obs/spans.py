@@ -143,8 +143,15 @@ class SpanTracer:
     steps share a timestamp (sorting by time could not break those ties).
     """
 
-    def __init__(self, plane: str = "real") -> None:
+    def __init__(
+        self, plane: str = "real", config_hash: Optional[str] = None
+    ) -> None:
         self.plane = plane
+        #: :meth:`repro.core.jobspec.JobSpec.config_hash` of the run that
+        #: produced this trace; producers fill it in when they know the
+        #: spec (``DistributedSCF.run``, ``step_trace_for``), exporters
+        #: carry it so any artifact traces back to its configuration
+        self.config_hash = config_hash
         self._lock = threading.Lock()
         # StepSpan objects interleaved with raw (resource, step, worker,
         # start, end) tuples; record_step defers StepSpan construction so

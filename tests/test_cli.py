@@ -30,12 +30,31 @@ class TestParser:
     def test_mtbf_defaults(self):
         args = build_parser().parse_args(["mtbf"])
         assert args.cores == 16384
-        assert args.bands == 512
+        assert args.grids == 512
         assert tuple(args.shape) == (128, 128, 128)
 
     def test_wholeapp_bands_option(self):
+        # --bands stays as an alias of the shared --grids knob
         args = build_parser().parse_args(["wholeapp", "--bands", "128"])
-        assert args.bands == 128
+        assert args.grids == 128
+        args = build_parser().parse_args(["wholeapp", "--grids", "128"])
+        assert args.grids == 128
+
+    def test_plan_defaults(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.cores == 16384
+        assert args.grids == 2816
+        assert tuple(args.shape) == (192, 192, 192)
+        assert args.approach is None and args.des_check == 0
+
+    def test_shared_knobs_uniform_across_subcommands(self):
+        # the dedup satellite: every spec-backed subcommand parses the
+        # same flags the same way
+        for cmd in ("bandpar", "plan", "mtbf"):
+            args = build_parser().parse_args(
+                [cmd, "--cores", "64", "--grids", "32"]
+            )
+            assert (args.cores, args.grids) == (64, 32)
 
 
 class TestCommands:
@@ -124,3 +143,17 @@ class TestCommands:
                   "--shape", "64", "64", "64")
         assert "Daly checkpoint cadence" in out
         assert "32 bands of 64^3 on 4096 cores" in out
+
+    def test_plan(self, capsys):
+        out = run(capsys, "plan", "--cores", "32", "--grids", "16",
+                  "--shape", "48", "48", "48")
+        assert "planner — 16 grids of 48x48x48 on 32 cores" in out
+        assert "planner best:" in out
+        assert "config " in out  # the JobSpec hash travels with the verdict
+
+    def test_plan_single_approach_with_des_check(self, capsys):
+        out = run(capsys, "plan", "--cores", "32", "--grids", "16",
+                  "--shape", "48", "48", "48",
+                  "--approach", "hybrid-multiple", "--des-check", "1")
+        assert "DES ms" in out
+        assert "flat" not in out.splitlines()[2]  # only the named approach

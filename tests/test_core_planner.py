@@ -1,0 +1,211 @@
+"""Planner: enumeration, pricing, ranking, and cross-plane agreement.
+
+The load-bearing claims:
+
+* the planner's argmin over (approach, batch, band groups) agrees with
+  the exhaustive per-figure sweeps the repo already pins —
+  ``PerformanceModel.best_batch_size`` per approach and
+  ``BandParallelModel.sweep`` over group counts — on several
+  machine/problem combinations (the planner walks the *same* compiled
+  plans through the *same* models, so agreement is exact, not
+  approximate);
+* infeasible candidates come back as typed rejections (whole-node,
+  divisibility, memory) rather than silently missing rows;
+* the DES cross-check of the top choices stays inside the repo's
+  existing <= 5% model-vs-DES tolerance at small core counts.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.approaches import ALL_APPROACHES, approach_by_name
+from repro.core.bandpar import BandParallelModel
+from repro.core.jobspec import ProblemSpec
+from repro.core.perfmodel import PerformanceModel
+from repro.core.planner import Planner
+from repro.machine.spec import BGP_SPEC
+
+#: machine variants x problems for the agreement sweep: the shipped
+#: calibration, a compute-heavier machine (stencil 3x slower, so batching
+#: and decomposition trade off differently) and a slower-network one.
+COMBOS = [
+    (BGP_SPEC, ProblemSpec(shape=(48, 48, 48), n_grids=16), 32),
+    (
+        BGP_SPEC.with_(stencil_point_time=330e-9),
+        ProblemSpec(shape=(64, 64, 64), n_grids=32),
+        64,
+    ),
+    (
+        BGP_SPEC.with_(torus=replace(
+            BGP_SPEC.torus,
+            link_bandwidth=BGP_SPEC.torus.link_bandwidth / 4,
+            effective_bandwidth=BGP_SPEC.torus.effective_bandwidth / 4,
+        )),
+        ProblemSpec(shape=(96, 96, 96), n_grids=64),
+        128,
+    ),
+]
+
+
+def brute_force_best(machine, problem, n_cores, max_groups=8):
+    """The pre-planner way: sweep every approach/batch/nb by hand."""
+    fd_model = PerformanceModel(machine)
+    band_model = BandParallelModel(machine)
+    job = problem.fd_job()
+    best = None
+    for a in ALL_APPROACHES:
+        if a.is_hybrid and n_cores >= 4 and n_cores % 4:
+            continue
+        nb_values = [1]
+        if a.name == "hybrid-multiple":
+            nb = 2
+            while nb <= max_groups:
+                if job.n_grids % nb == 0 and n_cores % (4 * nb) == 0:
+                    nb_values.append(nb)
+                nb *= 2
+        for nb in nb_values:
+            group_cores = n_cores // nb
+            group_job = type(job)(job.grid, job.n_grids // nb)
+            for b in fd_model.batch_candidates(group_job, a, group_cores):
+                t = band_model.evaluate(job, n_cores, nb, batch_size=b) \
+                    if nb > 1 else None
+                if nb > 1:
+                    step = t.total
+                else:
+                    fd = fd_model.evaluate(group_job, a, group_cores, b)
+                    plan = Planner(machine)._band_plan(problem, n_cores, 1)
+                    compute, ring = band_model.subspace_times(plan)
+                    step = fd.total * 8 + max(compute, ring)
+                key = (a.name, b, nb)
+                if best is None or step < best[0]:
+                    best = (step, key)
+    return best
+
+
+class TestSweepAgreement:
+    @pytest.mark.parametrize("machine,problem,n_cores", COMBOS)
+    def test_best_matches_brute_force(self, machine, problem, n_cores):
+        choice = Planner(machine).best(problem, n_cores)
+        step, (name, batch, nb) = brute_force_best(machine, problem, n_cores)
+        lay = choice.spec.layout
+        assert (lay.approach, lay.batch_size, lay.n_band_groups) == (
+            name, batch, nb
+        )
+        assert choice.predicted_time == pytest.approx(step, rel=1e-12)
+
+    @pytest.mark.parametrize("machine,problem,n_cores", COMBOS)
+    def test_per_approach_batch_matches_best_batch_size(
+        self, machine, problem, n_cores
+    ):
+        """Within nb=1 rows, the planner's best batch per approach is
+        exactly ``best_batch_size``'s (same candidate space, same model)."""
+        fd_model = PerformanceModel(machine)
+        result = Planner(machine).rank(problem, n_cores)
+        job = problem.fd_job()
+        for a in ALL_APPROACHES:
+            rows = [
+                ch for ch in result.choices
+                if ch.spec.layout.approach == a.name
+                and ch.spec.layout.n_band_groups == 1
+            ]
+            if not rows:
+                continue
+            planner_best = min(rows, key=lambda ch: ch.predicted_time)
+            sweep_best = fd_model.best_batch_size(job, a, n_cores)
+            assert planner_best.spec.layout.batch_size == sweep_best.batch_size
+            assert planner_best.fd_time == pytest.approx(
+                sweep_best.total, rel=1e-12
+            )
+
+    def test_band_parallel_rows_match_bandpar_sweep(self):
+        """The nb>1 step times are BandParTiming.total of the same config."""
+        problem = ProblemSpec(shape=(48, 48, 48), n_grids=16)
+        result = Planner().rank(problem, 32)
+        model = BandParallelModel()
+        for ch in result.choices:
+            lay = ch.spec.layout
+            if lay.n_band_groups == 1:
+                continue
+            t = model.evaluate(
+                problem.fd_job(), 32, lay.n_band_groups,
+                batch_size=lay.batch_size,
+            )
+            assert ch.predicted_time == pytest.approx(t.total, rel=1e-12)
+
+    def test_paper_scale_best_is_banded(self):
+        """At 16384 cores the 2D decomposition wins, as bandpar pins."""
+        problem = ProblemSpec(shape=(192, 192, 192), n_grids=2816)
+        choice = Planner().best(problem, 16384)
+        sweep = BandParallelModel().sweep(problem.fd_job(), 16384)
+        best = min(sweep, key=lambda t: t.total)
+        assert choice.spec.layout.approach == "hybrid-multiple"
+        assert choice.spec.layout.n_band_groups == best.n_band_groups
+        assert choice.predicted_time == pytest.approx(best.total, rel=1e-12)
+
+
+class TestRejections:
+    def test_partial_node_rejects_hybrid(self):
+        problem = ProblemSpec(shape=(24, 24, 24), n_grids=8)
+        result = Planner().rank(problem, 6)
+        assert all(
+            not approach_by_name(ch.spec.layout.approach).is_hybrid
+            for ch in result.choices
+        )
+        reasons = {
+            (r.approach, r.reason.split(",")[0]) for r in result.rejected
+        }
+        assert any("whole nodes" in r for _, r in reasons)
+
+    def test_band_group_divisibility_rejections(self):
+        problem = ProblemSpec(shape=(24, 24, 24), n_grids=6)
+        result = Planner().rank(problem, 12, max_groups=4)
+        by_nb = {r.n_band_groups: r.reason for r in result.rejected
+                 if r.approach == "hybrid-multiple"}
+        assert 2 in by_nb and "divisible" in by_nb[2]  # 12 % (4*2) != 0
+        assert 4 in by_nb and "divisible" in by_nb[4]  # 6 grids % 4 != 0
+
+    def test_memory_rejection_reported(self):
+        # 2816 grids of 192^3 cannot fit on a handful of VN-mode ranks
+        problem = ProblemSpec(shape=(192, 192, 192), n_grids=2816)
+        result = Planner().rank(problem, 8, approaches=["flat-optimized"])
+        assert not result.choices
+        assert any("memory" in r.reason for r in result.rejected)
+        with pytest.raises(ValueError, match="no feasible configuration"):
+            result.best()
+
+    def test_every_candidate_accounted_for(self):
+        """choices + rejections cover the full enumeration grid."""
+        problem = ProblemSpec(shape=(24, 24, 24), n_grids=8)
+        planner = Planner()
+        candidates, rejected = planner.enumerate(problem, 32)
+        result = planner.rank(problem, 32)
+        assert len(result.choices) == len(candidates)
+        assert len(result.rejected) == len(rejected)
+
+
+class TestDesCrossCheck:
+    def test_top_choices_within_tolerance(self):
+        """Mirrors test_core_bandpar's model-vs-DES gate: <= 5% @ 32 cores."""
+        problem = ProblemSpec(shape=(48, 48, 48), n_grids=16)
+        result = Planner().rank(problem, 32, des_top_k=3)
+        checked = [ch for ch in result.choices if ch.des_time is not None]
+        assert len(checked) == 3
+        for ch in checked:
+            assert ch.model_vs_des == pytest.approx(1.0, abs=0.05)
+        # uncross-checked rows stay None
+        assert all(ch.des_time is None for ch in result.choices[3:])
+
+    def test_cross_check_matches_direct_des(self):
+        from repro.core.simrun import simulate_band_plan, simulate_spec
+
+        problem = ProblemSpec(shape=(48, 48, 48), n_grids=16)
+        planner = Planner()
+        choice = planner.rank(problem, 32).best()
+        des = planner.cross_check(choice)
+        spec = choice.spec
+        fd = simulate_spec(spec)
+        band = simulate_band_plan(
+            planner._band_plan(problem, 32, spec.layout.n_band_groups)
+        )
+        assert des == pytest.approx(fd.total * 8 + band.total, rel=1e-12)

@@ -232,3 +232,56 @@ class TestKillResume:
         )
         with pytest.raises(ValueError, match="does not match"):
             other.run(resume_from=ckpt)
+
+
+class TestEmbeddedJobSpec:
+    """Version-2 checkpoints carry the writing run's serialized JobSpec."""
+
+    def test_checkpoint_embeds_the_writing_runs_spec(self, store):
+        from repro.core import JobSpec
+
+        scf = aniso_scf(2, store, max_iterations=2)
+        scf.run()
+        ckpt = store.latest()
+        assert ckpt.jobspec is not None
+        assert JobSpec.from_dict(ckpt.jobspec) == scf.spec
+
+    def test_roundtrip_resume_reaches_identical_energy(self, store):
+        full = aniso_scf(2, store=None).run()  # 4 iterations, no store
+        aniso_scf(2, store, max_iterations=2).run()
+        resumed = aniso_scf(2, store=None).run(resume_from=store.latest())
+        assert resumed.iterations == 4
+        assert resumed.total_energy == pytest.approx(
+            full.total_energy, abs=1e-10
+        )
+        np.testing.assert_allclose(resumed.states, full.states, atol=1e-10)
+
+    def test_mismatched_spec_raises_typed_error(self, store):
+        from repro.core import SpecMismatchError
+
+        aniso_scf(2, store, max_iterations=1).run()
+        ckpt = store.latest()
+        other = DistributedSCF(
+            GridDescriptor((8, 8, 8)), np.zeros((8, 8, 8)),
+            n_bands=1, n_ranks=2,
+        )
+        with pytest.raises(SpecMismatchError) as exc:
+            other.run(resume_from=ckpt)
+        assert any("shape" in m for m in exc.value.mismatches)
+
+    def test_version1_checkpoint_without_spec_still_resumes(self):
+        # the legacy field-by-field checks keep guarding old snapshots
+        store = MemoryCheckpointStore()
+        aniso_scf(2, store, max_iterations=2).run()
+        ckpt = store.latest()
+        legacy = SCFCheckpoint(
+            iteration=ckpt.iteration,
+            n_domains=ckpt.n_domains,
+            shape=ckpt.shape,
+            energies=ckpt.energies,
+            blocks=ckpt.blocks,
+            n_band_groups=ckpt.n_band_groups,
+        )
+        assert legacy.jobspec is None
+        resumed = aniso_scf(2, store=None).run(resume_from=legacy)
+        assert resumed.iterations == 4

@@ -295,6 +295,43 @@ def measure_telemetry(n=32, n_grids=8, iterations=10, repeats=5,
     }
 
 
+def measure_planner(n_cores=16384, n_grids=2816, shape=(192, 192, 192),
+                    max_groups=8):
+    """Planner wall-clock gate: ranking the paper-scale problem is cheap.
+
+    Times one full ``Planner.rank`` over the Fig. 7 problem (2816 grids of
+    192^3 on 16384 cores) — every feasible (approach, batch, band-group)
+    candidate priced through the compiled schedule plans.  The planner is
+    meant to be an interactive pre-run tool, so the acceptance bar is a
+    wall budget: the full rank must finish in under 30 s (measured ~2 s;
+    the generous bar absorbs shared-runner noise, not regressions of an
+    order of magnitude).
+    """
+    from repro.core.jobspec import ProblemSpec
+    from repro.core.planner import Planner
+
+    problem = ProblemSpec(shape=shape, n_grids=n_grids)
+    t0 = time.perf_counter()
+    result = Planner().rank(problem, n_cores, max_groups=max_groups)
+    elapsed = time.perf_counter() - t0
+    best = result.best()
+    return {
+        "n_cores": n_cores,
+        "n_grids": n_grids,
+        "shape": list(shape),
+        "choices": len(result.choices),
+        "rejected": len(result.rejected),
+        "best": {
+            "approach": best.spec.layout.approach,
+            "batch_size": best.spec.layout.batch_size,
+            "n_band_groups": best.spec.layout.n_band_groups,
+            "step_ms": round(best.predicted_time * 1e3, 3),
+        },
+        "elapsed_s": round(elapsed, 3),
+        "within_budget": elapsed < 30.0,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
@@ -312,11 +349,16 @@ def main(argv=None) -> int:
         result["orthogonalization"] = measure_orthogonalization(
             n=16, bands=16, repeats=2
         )
+        # the planner gate runs at paper scale even in smoke mode: the
+        # whole point of the budget is the full Fig. 7 enumeration, and
+        # it is only ~2 s
+        result["planner"] = measure_planner()
     else:
         result = measure()
         result["plan_cache"] = measure_plan_cache()
         result["telemetry"] = measure_telemetry()
         result["orthogonalization"] = measure_orthogonalization()
+        result["planner"] = measure_planner()
     result["mode"] = "smoke" if args.smoke else "full"
     result["host"] = {
         "machine": platform.machine(),
@@ -348,6 +390,12 @@ def main(argv=None) -> int:
           f"{orates['naive_gram_schmidt']:.1f} Mpoints/s naive vs "
           f"{orates['blocked_gemm_lowdin']:.1f} Mpoints/s blocked GEMM "
           f"({ortho['ortho_speedup']:.2f}x)")
+    pl = result["planner"]
+    print(f"  planner: ranked {pl['choices']} feasible configs "
+          f"({pl['rejected']} rejected) for {pl['n_grids']} grids on "
+          f"{pl['n_cores']} cores in {pl['elapsed_s']:.2f} s; best "
+          f"{pl['best']['approach']} batch={pl['best']['batch_size']} "
+          f"nb={pl['best']['n_band_groups']}")
 
     if not args.smoke and result["batched_speedup"] < 1.5:
         print("FAIL: batched speedup below the 1.5x acceptance bar",
@@ -370,6 +418,10 @@ def main(argv=None) -> int:
         print(f"FAIL: blocked-GEMM orthogonalization speedup "
               f"{ortho['ortho_speedup']:.2f}x below the {ortho_bar:.1f}x bar",
               file=sys.stderr)
+        return 1
+    if not pl["within_budget"]:
+        print(f"FAIL: planner rank took {pl['elapsed_s']:.1f} s at paper "
+              f"scale (budget: <30 s)", file=sys.stderr)
         return 1
     return 0
 
