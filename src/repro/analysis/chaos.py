@@ -15,7 +15,13 @@ locally with the same command line.  Expected outcomes:
 * a killed rank under plain supervision — *crashed*, but with a typed,
   step-attributed crash report (never a hang);
 * a killed rank mid-SCF with checkpointing — recovered via
-  checkpoint/restart, converging to the sequential energy.
+  checkpoint/restart, converging to the sequential energy;
+* (``--controller``) a killed rank mid-band-parallel-SCF under the
+  :class:`~repro.dft.recovery.RecoveryController` — the planner picks a
+  degraded layout on the survivors (no caller-supplied shrink target),
+  the checkpoint is regrouped onto it, and the run converges to the
+  fault-free oracle; run twice to compare static vs adaptive
+  checkpoint cadence.
 """
 
 from __future__ import annotations
@@ -174,11 +180,88 @@ def _scf_kill_resume(seed: int, timeout: float) -> ChaosOutcome:
     )
 
 
+def _controller_kill(
+    seed: int, timeout: float, nb: int, adaptive: bool
+) -> ChaosOutcome:
+    """Rank kill mid-band-parallel SCF; the RecoveryController replans.
+
+    Unlike ``scf-kill-resume`` no shrink target is supplied: the
+    controller consumes the crash report, asks the planner for the best
+    feasible layout on the survivors, and regroups the checkpoint onto
+    it.  With ``adaptive=True`` the checkpoint cadence is derived live
+    from Daly's interval instead of the static ``checkpoint_every``.
+    """
+    from repro.core import DegradationError, DegradationPolicy
+    from repro.dft import (
+        DistributedSCF,
+        MemoryCheckpointStore,
+        RecoveryController,
+    )
+
+    n = 6
+    gd = GridDescriptor((n, n, n), pbc=(False,) * 3, spacing=0.6)
+    x, y, z = gd.coordinates()
+    c = (n + 1) * 0.6 / 2
+    v = 0.5 * ((x - c) ** 2 + 1.44 * (y - c) ** 2 + 1.96 * (z - c) ** 2)
+
+    def make(store):
+        return DistributedSCF(
+            gd, v, n_bands=4, n_ranks=4, n_band_groups=nb,
+            occupations=[2.0] * 4, mixing=0.6, tolerance=0.0,
+            max_iterations=4, band_iterations=4,
+            checkpoint_store=store, checkpoint_every=1, seed=seed,
+        )
+
+    oracle = make(None).run()  # fault-free twin, no shared store
+    scf = make(MemoryCheckpointStore())
+    # ~200 transport ops per rank per SCF iteration at this size: op 400
+    # lands mid-run, after at least one checkpoint committed (static
+    # cadence; the adaptive cadence may checkpoint less often, in which
+    # case the degraded layout replays from scratch — still exact)
+    plan = FaultPlan(seed=seed, kill_at={2: 400})
+
+    def factory(attempt: int, n_ranks: int):
+        inner = InprocTransport(n_ranks, default_timeout=timeout)
+        return FaultyTransport(inner, plan) if attempt == 0 else inner
+
+    policy = DegradationPolicy(
+        max_restarts=2,
+        adaptive_cadence=adaptive,
+        expected_mtbf=0.5 if adaptive else None,
+    )
+    ctrl = RecoveryController(scf, policy=policy, transport_factory=factory)
+    name = f"ctrl-kill-nb{nb}" + ("-adaptive" if adaptive else "")
+    try:
+        res = ctrl.run()
+    except (TransportError, DegradationError) as exc:
+        return ChaosOutcome(
+            scenario=name,
+            injected=len(plan.events),
+            attempts=len(ctrl.reports) or 1,
+            outcome="crashed",
+            identical=False,
+            errors=(type(exc).__name__,),
+        )
+    identical = bool(
+        np.isfinite(res.total_energy)
+        and abs(res.total_energy - oracle.total_energy) < 1e-8
+    )
+    return ChaosOutcome(
+        scenario=name,
+        injected=len(plan.events),
+        attempts=res.restarts + 1,
+        outcome="recovered" if res.restarts else "clean",
+        identical=identical,
+        errors=tuple(sorted({r.error_type for r in ctrl.reports})),
+    )
+
+
 def run_chaos_suite(
     seed: int = 0,
     n_ranks: int = 2,
     timeout: float = 1.0,
     scf: bool = True,
+    controller: bool = False,
 ) -> list[ChaosOutcome]:
     """Run every chaos scenario for one seed; deterministic per seed."""
     sc = _StencilScenario(n_ranks)
@@ -201,6 +284,13 @@ def run_chaos_suite(
     outcomes.append(sc.run("rank-kill", kill, max_retries=2, timeout=timeout))
     if scf:
         outcomes.append(_scf_kill_resume(seed, timeout))
+    if controller:
+        # planner-driven degradation, kill mid-run with nb in {2, 4};
+        # the adaptive row exists to compare cadence policies side by
+        # side in the printed matrix
+        outcomes.append(_controller_kill(seed, timeout, nb=2, adaptive=False))
+        outcomes.append(_controller_kill(seed, timeout, nb=4, adaptive=False))
+        outcomes.append(_controller_kill(seed, timeout, nb=2, adaptive=True))
     return outcomes
 
 
@@ -233,7 +323,9 @@ def suite_passed(outcomes: list[ChaosOutcome]) -> bool:
     * ``rank-kill`` must end ``crashed`` with a typed error (attribution
       instead of a hang);
     * ``scf-kill-resume`` (when present) must end ``recovered`` with the
-      oracle energy.
+      oracle energy;
+    * ``ctrl-kill-*`` (when present) must end ``recovered`` with the
+      oracle energy on whatever degraded layout the planner chose.
     """
     ok = True
     for o in outcomes:

@@ -326,7 +326,8 @@ def _cmd_chaos(args: argparse.Namespace) -> str:
     from repro.analysis.chaos import run_chaos_suite, suite_passed, survival_matrix
 
     outcomes = run_chaos_suite(
-        seed=args.seed, n_ranks=args.ranks, scf=not args.no_scf
+        seed=args.seed, n_ranks=args.ranks, scf=not args.no_scf,
+        controller=args.controller,
     )
     table = survival_matrix(outcomes)
     ok = suite_passed(outcomes)
@@ -521,6 +522,10 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--ranks", type=int, default=2)
     pc.add_argument("--no-scf", action="store_true",
                     help="skip the (slower) SCF checkpoint-resume scenario")
+    pc.add_argument("--controller", action="store_true",
+                    help="add RecoveryController scenarios: kill mid-run "
+                         "with band groups (nb=2,4), static vs adaptive "
+                         "checkpoint cadence")
     pm = sub.add_parser(
         "mtbf", help="Daly checkpoint-cadence sweep at paper scale"
     )

@@ -69,6 +69,12 @@ from repro.core.planner import (
     PlanResult,
     Rejection,
 )
+from repro.core.recovery_policy import (
+    AdaptiveCadence,
+    DegradationError,
+    DegradationPolicy,
+    DegradationStep,
+)
 from repro.core.simrun import (
     simulate_band_plan,
     simulate_band_step,
@@ -119,6 +125,10 @@ __all__ = [
     "Planner",
     "PlanResult",
     "Rejection",
+    "AdaptiveCadence",
+    "DegradationError",
+    "DegradationPolicy",
+    "DegradationStep",
     "FDJob",
     "PerformanceModel",
     "FDTiming",

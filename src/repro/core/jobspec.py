@@ -139,7 +139,14 @@ class LayoutSpec:
 
 @dataclass(frozen=True)
 class RuntimeSpec:
-    """SCF-loop knobs shared by the sequential and distributed loops."""
+    """SCF-loop knobs shared by the sequential and distributed loops.
+
+    ``eig_tol``/``eigensolver`` drive the sequential loop's inner
+    eigensolver and ``checkpoint_keep`` the stores' retention window —
+    former loose constructor arguments, now serialized with every other
+    knob so a restarted run reconstructs them from the snapshot's
+    embedded spec.
+    """
 
     tolerance: float = 1e-4
     max_iterations: int = 30
@@ -148,6 +155,9 @@ class RuntimeSpec:
     xc: str = "none"
     seed: int = 0
     checkpoint_every: int = 1
+    eig_tol: float = 1e-7
+    eigensolver: str = "arpack"
+    checkpoint_keep: int = 2
 
     def __post_init__(self) -> None:
         check_nonnegative(self.tolerance, "tolerance")
@@ -159,6 +169,9 @@ class RuntimeSpec:
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise TypeError(f"seed must be an integer, got {self.seed!r}")
         check_positive_int(self.checkpoint_every, "checkpoint_every")
+        check_nonnegative(self.eig_tol, "eig_tol")
+        check_in(self.eigensolver, ("arpack", "rmm-diis"), "eigensolver")
+        check_positive_int(self.checkpoint_keep, "checkpoint_keep")
 
 
 @dataclass(frozen=True)
@@ -236,6 +249,9 @@ class JobSpec:
                 "xc": self.runtime.xc,
                 "seed": self.runtime.seed,
                 "checkpoint_every": self.runtime.checkpoint_every,
+                "eig_tol": self.runtime.eig_tol,
+                "eigensolver": self.runtime.eigensolver,
+                "checkpoint_keep": self.runtime.checkpoint_keep,
             },
         }
 
@@ -286,22 +302,18 @@ def check_restart_compatible(current: JobSpec, saved: JobSpec) -> None:
     """Raise :class:`SpecMismatchError` unless ``saved`` can restart here.
 
     The problem section must match exactly (the checkpointed blocks *are*
-    that problem's state) and the band-group count must match (the 2D
-    layout slices the band axis).  ``n_cores`` may legitimately differ —
-    that is the shrink-recovery path, which the resume code handles (and
-    restricts to one band group) separately.  Runtime knobs may change
-    between attempts (e.g. a tighter tolerance on resume).
+    that problem's state).  The whole layout section may legitimately
+    differ — ``n_cores`` is the shrink-recovery path and
+    ``n_band_groups`` the regroup path, both handled by
+    :func:`repro.dft.checkpoint.regroup_checkpoint` on resume.  Runtime
+    knobs may change between attempts (e.g. a tighter tolerance on
+    resume).
     """
     mismatches = []
     for f in fields(ProblemSpec):
         was, now = getattr(saved.problem, f.name), getattr(current.problem, f.name)
         if was != now:
             mismatches.append(f"problem.{f.name}: saved {was!r}, current {now!r}")
-    if saved.layout.n_band_groups != current.layout.n_band_groups:
-        mismatches.append(
-            f"layout band groups: saved {saved.layout.n_band_groups!r}, "
-            f"current {current.layout.n_band_groups!r}"
-        )
     if mismatches:
         raise SpecMismatchError(mismatches)
 

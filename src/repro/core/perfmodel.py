@@ -525,19 +525,20 @@ class PerformanceModel:
         return float(per_domain * (min(4, n_cores) if n_cores >= 4 else n_cores))
 
     # -- JobSpec entry point -----------------------------------------------------
-    def evaluate_spec(self, spec) -> FDTiming:
+    def evaluate_spec(self, spec):
         """Evaluate a validated :class:`~repro.core.jobspec.JobSpec`.
 
-        Single-band-group specs only — with ``n_band_groups > 1`` the FD
-        step belongs to :meth:`repro.core.bandpar.BandParallelModel
-        .evaluate_spec`, which prices the per-group job this model cannot
-        see from a flat argument list.
+        Every layout prices through one entry point: a band-parallel
+        spec (``n_band_groups > 1``) routes to
+        :meth:`repro.core.bandpar.BandParallelModel.evaluate_spec` on
+        the same machine, returning its :class:`~repro.core.bandpar
+        .BandParTiming` (both result types expose ``.total``); a
+        single-group spec returns this model's :class:`FDTiming`.
         """
         if spec.layout.n_band_groups != 1:
-            raise ValueError(
-                "PerformanceModel.evaluate_spec needs n_band_groups == 1; "
-                "use BandParallelModel.evaluate_spec for band-parallel specs"
-            )
+            from repro.core.bandpar import BandParallelModel
+
+            return BandParallelModel(self.spec).evaluate_spec(spec)
         return self.evaluate(
             spec.fd_job(),
             spec.approach_obj(),

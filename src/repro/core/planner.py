@@ -265,6 +265,94 @@ class Planner:
             problem=problem, n_cores=n_cores, choices=choices, rejected=rejected
         )
 
+    # -- degradation (recovery replanning) ---------------------------------
+    def degrade(
+        self,
+        spec: JobSpec,
+        n_cores: int,
+        max_groups: Optional[int] = None,
+    ) -> PlanResult:
+        """Feasible re-plans of a running ``spec`` on ``n_cores`` survivors.
+
+        The recovery controller's question after a fatal failure: with
+        fewer ranks, which (batch, band-group) layout should the run
+        resume on?  Unlike :meth:`enumerate` this applies *functional-
+        plane* rules — the approach is kept, whole-node constraints do
+        not apply (rank threads, not BG/P nodes), and any ``nb'`` that
+        divides both the grids and the surviving cores is a candidate
+        (``nb' <= nb`` by default: the checkpoint regroup path shrinks
+        the group count).  Every choice carries the spec's runtime
+        section verbatim, so the winner rebuilds the run directly;
+        infeasible layouts come back as typed :class:`Rejection`\\ s.
+        """
+        from dataclasses import replace
+
+        if n_cores < 1:
+            return PlanResult(
+                problem=spec.problem,
+                n_cores=n_cores,
+                rejected=[Rejection(
+                    spec.layout.approach, spec.layout.n_band_groups,
+                    f"no surviving cores ({n_cores})",
+                )],
+            )
+        problem = spec.problem
+        a = approach_by_name(spec.layout.approach)
+        nb_cap = spec.layout.n_band_groups if max_groups is None else max_groups
+        job = problem.fd_job()
+        choices: list[PlanChoice] = []
+        rejected: list[Rejection] = []
+        for nb in range(min(nb_cap, n_cores), 0, -1):
+            if problem.n_grids % nb:
+                rejected.append(Rejection(a.name, nb, (
+                    f"n_grids ({problem.n_grids}) must be divisible by "
+                    f"band groups ({nb})"
+                )))
+                continue
+            if n_cores % nb:
+                rejected.append(Rejection(a.name, nb, (
+                    f"n_cores ({n_cores}) must be divisible by "
+                    f"band groups ({nb})"
+                )))
+                continue
+            group_cores = n_cores // nb
+            group_job = FDJob(job.grid, job.n_grids // nb)
+            try:
+                need = fd_memory_per_rank(group_job, a, group_cores, self.machine)
+                limit = memory_limit_per_rank(a, group_cores, self.machine)
+            except ValueError as exc:
+                # e.g. a hybrid approach's whole-node rule on a partial
+                # survivor count — a rejection, never an exception
+                rejected.append(Rejection(a.name, nb, str(exc)))
+                continue
+            if need > limit:
+                rejected.append(Rejection(a.name, nb, (
+                    f"working set {need / 2**20:.0f} MiB/rank exceeds "
+                    f"the {limit / 2**20:.0f} MiB per-rank memory"
+                )))
+                continue
+            try:
+                batches = self.fd_model.batch_candidates(group_job, a, group_cores)
+            except ValueError as exc:
+                rejected.append(Rejection(a.name, nb, str(exc)))
+                continue
+            for b in batches:
+                try:
+                    choices.append(
+                        self.evaluate(problem, n_cores, Candidate(a.name, b, nb))
+                    )
+                except ValueError as exc:
+                    rejected.append(Rejection(a.name, nb, str(exc)))
+                    break  # the whole nb family shares the failure
+        for ch in choices:
+            ch.spec = replace(ch.spec, runtime=spec.runtime)
+        choices.sort(key=lambda ch: ch.predicted_time)
+        for i, ch in enumerate(choices):
+            ch.rank = i + 1
+        return PlanResult(
+            problem=problem, n_cores=n_cores, choices=choices, rejected=rejected
+        )
+
     def best(
         self,
         problem: ProblemSpec,

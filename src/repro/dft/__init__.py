@@ -33,6 +33,7 @@ from repro.dft.checkpoint import (
     MemoryCheckpointStore,
     SCFCheckpoint,
     redistribute_blocks,
+    regroup_checkpoint,
 )
 from repro.dft.operators import Laplacian, Kinetic
 from repro.dft.poisson import PoissonSolver, PoissonResult
@@ -44,6 +45,7 @@ from repro.dft.scf import SCFLoop, SCFResult
 from repro.dft.rmm_diis import KineticPreconditioner, RmmDiis, RmmDiisResult
 from repro.dft.distributed import DistributedPoissonSolver, DistributedPoissonResult
 from repro.dft.distributed_scf import DistributedSCF, DistributedSCFResult
+from repro.dft.recovery import RecoveryController
 from repro.dft.xc import lda_energy, lda_potential
 
 __all__ = [
@@ -72,7 +74,9 @@ __all__ = [
     "FileCheckpointStore",
     "MemoryCheckpointStore",
     "SCFCheckpoint",
+    "RecoveryController",
     "lda_energy",
     "lda_potential",
     "redistribute_blocks",
+    "regroup_checkpoint",
 ]

@@ -19,6 +19,12 @@ files implement, scaled down to this library's functional plane:
   by ``N`` ranks can be resumed by ``M`` ranks (shrink-to-fewer-ranks
   recovery after a node loss: the schedule plan is recompiled for the
   new layout and every field is re-sliced through the transfer plan).
+* :func:`regroup_checkpoint` — the band-group-aware generalization: a
+  snapshot written by ``nb`` band groups over ``P`` ranks becomes valid
+  initial state for ``nb'`` groups over ``P'`` ranks.  Domains move
+  through the same transfer plan per group; the band axis follows
+  :func:`repro.grid.redistribute.band_regroup_plan`.  Pure numpy, so
+  recovery can regroup after the writing ranks are gone.
 
 Checkpoint traffic uses the ``CHECKPOINT_TAG_BASE`` tag space reserved
 in :mod:`repro.transport.errors` when a store routes blocks over a
@@ -36,8 +42,9 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.grid.bandgroups import BandGroups
 from repro.grid.decompose import Decomposition
-from repro.grid.redistribute import Transfer, transfer_plan
+from repro.grid.redistribute import Transfer, band_regroup_plan, transfer_plan
 
 #: fields every rank deposits per snapshot
 CHECKPOINT_FIELDS = ("states", "rho_old", "v_h", "v_xc")
@@ -127,6 +134,94 @@ def redistribute_blocks(
     return out
 
 
+def regroup_checkpoint(
+    ckpt: SCFCheckpoint,
+    grid,
+    n_ranks: int,
+    n_band_groups: int = 1,
+) -> SCFCheckpoint:
+    """Re-slice a committed snapshot onto a new ``(ranks, groups)`` layout.
+
+    This is the shrink/regroup restart: a checkpoint deposited by ``nb``
+    band groups over ``P`` ranks becomes valid initial state for ``nb'``
+    groups over ``P'`` ranks (typically ``nb' <= nb`` on fewer ranks
+    after a node loss, but any layout over the same grid and band count
+    works).  Three pure-numpy moves, no transport:
+
+    * each old group's band stack is re-sliced from the old domain
+      decomposition to the new one (:func:`redistribute_blocks` carries
+      the band axis as a leading dimension);
+    * the band axis is re-gathered per :func:`~repro.grid.redistribute
+      .band_regroup_plan`, so every new rank stacks exactly its group's
+      contiguous bands;
+    * the scalar fields (density history, potentials) are identical
+      across groups by construction, so group 0's blocks are re-sliced
+      once and replicated into every new group.
+
+    The result keeps the writing run's iteration, energies and embedded
+    jobspec — resume re-validates those exactly as for a same-layout
+    snapshot.
+    """
+    old_nb = ckpt.n_band_groups
+    if ckpt.n_domains % old_nb:
+        raise ValueError(
+            f"corrupt checkpoint: {ckpt.n_domains} ranks not divisible "
+            f"by {old_nb} band groups"
+        )
+    old_rpg = ckpt.n_domains // old_nb
+    bands_per_old = ckpt.blocks[0]["states"].shape[0]
+    n_bands = bands_per_old * old_nb
+    # the two layouts raise the typed divisibility errors (bands % nb',
+    # ranks % nb') before any array moves
+    old_lay = BandGroups(n_ranks=ckpt.n_domains, n_bands=n_bands, n_groups=old_nb)
+    new_lay = BandGroups(n_ranks=n_ranks, n_bands=n_bands, n_groups=n_band_groups)
+    old_decomp = Decomposition(grid, old_rpg)
+    new_decomp = Decomposition(grid, new_lay.ranks_per_group)
+    # domain re-slice: one redistribution per old group for the band
+    # stacks, one (group 0) for the shared scalars
+    states_by_group = [
+        redistribute_blocks(
+            {
+                d: ckpt.blocks[old_lay.rank_of(g, d)]["states"]
+                for d in range(old_rpg)
+            },
+            old_decomp,
+            new_decomp,
+        )
+        for g in range(old_nb)
+    ]
+    scalars = {
+        name: redistribute_blocks(
+            {d: ckpt.blocks[d][name] for d in range(old_rpg)},
+            old_decomp,
+            new_decomp,
+        )
+        for name in ("rho_old", "v_h", "v_xc")
+    }
+    moves = band_regroup_plan(old_lay, new_lay)
+    blocks: dict[int, dict[str, np.ndarray]] = {}
+    for rank in range(n_ranks):
+        g = new_lay.group_of(rank)
+        d = new_lay.domain_of(rank)
+        stack = np.stack([
+            states_by_group[m.src_group][d][m.src_index]
+            for m in moves
+            if m.dst_group == g
+        ])
+        blocks[rank] = {"states": stack}
+        for name, per_domain in scalars.items():
+            blocks[rank][name] = per_domain[d].copy()
+    return SCFCheckpoint(
+        iteration=ckpt.iteration,
+        n_domains=n_ranks,
+        shape=ckpt.shape,
+        energies=ckpt.energies,
+        blocks=blocks,
+        n_band_groups=n_band_groups,
+        jobspec=ckpt.jobspec,
+    )
+
+
 def _validate_payload(fields: dict[str, np.ndarray]) -> None:
     missing = set(CHECKPOINT_FIELDS) - set(fields)
     if missing:
@@ -178,6 +273,11 @@ class MemoryCheckpointStore(_DepositTelemetry):
         self._lock = threading.Lock()
         self._pending: dict[int, dict] = {}  # iteration -> partial snapshot
         self._committed: dict[int, SCFCheckpoint] = {}
+
+    @classmethod
+    def from_spec(cls, spec, metrics=None) -> "MemoryCheckpointStore":
+        """Retention window from ``spec.runtime.checkpoint_keep``."""
+        return cls(keep=spec.runtime.checkpoint_keep, metrics=metrics)
 
     def deposit(
         self,
@@ -286,6 +386,11 @@ class FileCheckpointStore(_DepositTelemetry):
         self.keep = keep
         self._init_metrics(metrics)
         self._lock = threading.Lock()
+
+    @classmethod
+    def from_spec(cls, spec, root: str | Path, metrics=None) -> "FileCheckpointStore":
+        """Retention window from ``spec.runtime.checkpoint_keep``."""
+        return cls(root, keep=spec.runtime.checkpoint_keep, metrics=metrics)
 
     def _rank_path(self, iteration: int, rank: int) -> Path:
         return self.root / f"it{iteration:05d}_rank{rank}.npz"

@@ -56,7 +56,7 @@ from repro.core.jobspec import (
 from repro.core.schedule import compile_band_schedule
 from repro.core.workspace import Workspace
 from repro.dft.band_ortho import BandRingExecutor, band_axis_sum
-from repro.dft.checkpoint import SCFCheckpoint, redistribute_blocks
+from repro.dft.checkpoint import SCFCheckpoint, regroup_checkpoint
 from repro.dft.distributed import DistributedPoissonSolver
 from repro.grid.array import LocalGrid, gather, scatter
 from repro.grid.bandgroups import BandGroups
@@ -80,6 +80,7 @@ class DistributedSCFResult:
     converged: bool
     restarts: int = 0  # recovery restarts consumed (run_with_recovery)
     final_ranks: int = 0  # rank count of the attempt that finished
+    final_band_groups: int = 1  # band groups of the attempt that finished
 
 
 class DistributedSCF:
@@ -103,6 +104,7 @@ class DistributedSCF:
         checkpoint_store=None,
         checkpoint_every: int = 1,
         metrics=None,
+        cadence=None,
     ):
         grid.check_array(external_potential, "external_potential")
         # One validation point: the JobSpec constructors raise the typed
@@ -142,6 +144,11 @@ class DistributedSCF:
         self.seed = seed
         self.checkpoint_store = checkpoint_store
         self.checkpoint_every = checkpoint_every
+        #: optional :class:`repro.core.recovery_policy.AdaptiveCadence`;
+        #: when set, it replaces the static ``checkpoint_every`` gate —
+        #: see ``_rank_run`` (the extra allreduce only runs when enabled,
+        #: so static runs keep their exact transport op counts)
+        self.cadence = cadence
         from repro.obs.metrics import resolve_registry
 
         #: per-iteration residual/energy gauges and timing land here (the
@@ -199,6 +206,7 @@ class DistributedSCF:
         occupations: list[float] | None = None,
         checkpoint_store=None,
         metrics=None,
+        cadence=None,
     ) -> "DistributedSCF":
         """Build the distributed loop straight from a :class:`JobSpec`.
 
@@ -223,6 +231,7 @@ class DistributedSCF:
             checkpoint_store=checkpoint_store,
             checkpoint_every=spec.runtime.checkpoint_every,
             metrics=metrics,
+            cadence=cadence,
         )
         scf.spec = spec
         scf._spec_dict = spec.to_dict()
@@ -463,10 +472,20 @@ class DistributedSCF:
 
                 v_xc = (1 - self.mixing) * v_xc + self.mixing * lda_potential(rho)
 
-            if (
+            due = (
                 self.checkpoint_store is not None
                 and it % self.checkpoint_every == 0
-            ):
+            )
+            if self.cadence is not None and self.checkpoint_store is not None:
+                # adaptive cadence: rank 0's measured iteration wall time
+                # is broadcast by one extra allreduce (only when a
+                # cadence is attached — static runs keep their exact
+                # transport op counts) so every rank takes the identical
+                # Daly-interval decision
+                elapsed = time.perf_counter() - it_t0 if rank == 0 else 0.0
+                t_iter = float(ep.allreduce(elapsed)[0])
+                due = self.cadence.due(it, t_iter)
+            if due:
                 # N-N checkpoint: every rank deposits its own interior
                 # blocks; the store commits once all ranks arrive
                 self.checkpoint_store.deposit(
@@ -551,8 +570,10 @@ class DistributedSCF:
         ``transport`` overrides the default in-process transport (e.g. a
         :class:`~repro.transport.faults.FaultyTransport` for chaos runs).
         ``resume_from`` restarts mid-SCF from a committed checkpoint —
-        written by any rank count: a snapshot from more ranks is
-        redistributed onto this instance's (recompiled) layout.
+        written by any ``(ranks, band groups)`` layout: a snapshot from
+        a different layout is regrouped onto this instance's
+        (recompiled) one via :func:`~repro.dft.checkpoint
+        .regroup_checkpoint`.
 
         When this SCF carries a live metrics registry and no explicit
         transport is given, the default transport is built with the same
@@ -620,14 +641,16 @@ class DistributedSCF:
             iterations=it,
             converged=converged,
             final_ranks=lay.n_ranks,
+            final_band_groups=lay.n_groups,
         )
 
     def _resume_state(self, ckpt: SCFCheckpoint):
         """Initial blocks + per-rank restore snapshot for a resume.
 
-        Shrink path: a checkpoint committed by more ranks is re-sliced
-        onto this layout through the transfer plan before any rank
-        thread starts.
+        Shrink/regroup path: a checkpoint committed under any other
+        ``(ranks, band groups)`` layout is re-sliced onto this one —
+        domains through the transfer plan, bands through the band
+        regroup plan — before any rank thread starts.
         """
         lay = self.layout
         if ckpt.jobspec is not None:
@@ -640,39 +663,14 @@ class DistributedSCF:
                 f"checkpoint grid {tuple(ckpt.shape)} does not match "
                 f"SCF grid {tuple(self.grid.shape)}"
             )
-        if ckpt.n_band_groups != lay.n_groups:
-            raise ValueError(
-                f"checkpoint was written with {ckpt.n_band_groups} band "
-                f"groups, SCF has {lay.n_groups}"
-            )
-        n_bands = ckpt.blocks[0]["states"].shape[0] * lay.n_groups
+        n_bands = ckpt.blocks[0]["states"].shape[0] * ckpt.n_band_groups
         if n_bands != self.n_bands:
             raise ValueError(
                 f"checkpoint has {n_bands} bands, SCF wants {self.n_bands}"
             )
-        if ckpt.n_domains != lay.n_ranks:
-            if lay.n_groups > 1:
-                raise ValueError(
-                    f"band-parallel checkpoint needs {ckpt.n_domains} "
-                    f"ranks to resume, SCF has {lay.n_ranks} (shrinking "
-                    "is only supported with one band group)"
-                )
-            old = Decomposition(self.grid, ckpt.n_domains)
-            fields = {
-                name: redistribute_blocks(
-                    ckpt.field_blocks(name), old, self.decomp
-                )
-                for name in ("states", "rho_old", "v_h", "v_xc")
-            }
-            ckpt = SCFCheckpoint(
-                iteration=ckpt.iteration,
-                n_domains=self.decomp.n_domains,
-                shape=ckpt.shape,
-                energies=ckpt.energies,
-                blocks={
-                    r: {name: fields[name][r] for name in fields}
-                    for r in range(self.decomp.n_domains)
-                },
+        if ckpt.n_domains != lay.n_ranks or ckpt.n_band_groups != lay.n_groups:
+            ckpt = regroup_checkpoint(
+                ckpt, self.grid, lay.n_ranks, lay.n_groups
             )
         initial_blocks = []
         for b in range(self.n_bands):
@@ -712,6 +710,7 @@ class DistributedSCF:
             checkpoint_store=self.checkpoint_store,
             checkpoint_every=self.checkpoint_every,
             metrics=self.metrics if self.metrics.enabled else None,
+            cadence=self.cadence,
         )
 
     def run_with_recovery(
@@ -730,6 +729,10 @@ class DistributedSCF:
         ``shrink_to`` ranks if given (the node-loss scenario: the
         schedule is recompiled and all state redistributed) — up to
         ``max_restarts`` times before the error propagates.
+
+        This is the *caller-configured* loop; :class:`repro.dft.recovery
+        .RecoveryController` supersedes it with a planner-driven
+        degradation ladder that picks the shrink target itself.
         """
         if self.checkpoint_store is None:
             raise ValueError("run_with_recovery needs a checkpoint_store")

@@ -63,9 +63,10 @@ class SCFLoop:
         eigensolver: str = "arpack",
     ):
         grid.check_array(external_potential, "external_potential")
-        # The shared spec constructors carry the validation (positive
-        # band count, mixing in (0, 1], known xc); eigensolver/eig_tol
-        # are sequential-only knobs and stay local.
+        # The shared spec constructors carry all the validation (positive
+        # band count, mixing in (0, 1], known xc, known eigensolver) —
+        # eig_tol/eigensolver are RuntimeSpec fields, so a restart
+        # reconstructs them from the snapshot's embedded spec.
         self.spec = JobSpec(
             problem=ProblemSpec.from_grid(grid, n_bands),
             runtime=RuntimeSpec(
@@ -73,13 +74,11 @@ class SCFLoop:
                 max_iterations=max_iterations,
                 mixing=mixing,
                 xc=xc,
+                eig_tol=eig_tol,
+                eigensolver=eigensolver,
             ),
         )
-        if eigensolver not in ("arpack", "rmm-diis"):
-            raise ValueError(
-                f"eigensolver must be 'arpack' or 'rmm-diis', got {eigensolver!r}"
-            )
-        self.eigensolver = eigensolver
+        self.eigensolver = self.spec.runtime.eigensolver
         self.grid = grid
         self.v_ext = external_potential
         self.n_bands = n_bands
@@ -98,13 +97,12 @@ class SCFLoop:
         external_potential: np.ndarray,
         *,
         occupations: np.ndarray | list[float] | None = None,
-        eig_tol: float = 1e-7,
-        eigensolver: str = "arpack",
     ) -> "SCFLoop":
         """Build the sequential loop from a :class:`JobSpec`.
 
         Layout fields are ignored (this loop is single-rank); the
-        problem and runtime sections map directly.
+        problem and runtime sections — including ``eig_tol`` and
+        ``eigensolver`` — map directly.
         """
         scf = cls(
             spec.grid(),
@@ -114,9 +112,9 @@ class SCFLoop:
             mixing=spec.runtime.mixing,
             tolerance=spec.runtime.tolerance,
             max_iterations=spec.runtime.max_iterations,
-            eig_tol=eig_tol,
+            eig_tol=spec.runtime.eig_tol,
             xc=spec.runtime.xc,
-            eigensolver=eigensolver,
+            eigensolver=spec.runtime.eigensolver,
         )
         scf.spec = spec
         return scf

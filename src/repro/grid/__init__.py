@@ -18,7 +18,13 @@ from repro.grid.decompose import Decomposition
 from repro.grid.bandgroups import BandGroups
 from repro.grid.halo import HaloSpec, HaloMessage, halo_messages
 from repro.grid.array import LocalGrid, scatter, gather
-from repro.grid.redistribute import Transfer, redistribute, transfer_plan
+from repro.grid.redistribute import (
+    BandMove,
+    Transfer,
+    band_regroup_plan,
+    redistribute,
+    transfer_plan,
+)
 
 __all__ = [
     "GridDescriptor",
@@ -30,7 +36,9 @@ __all__ = [
     "LocalGrid",
     "scatter",
     "gather",
+    "BandMove",
     "Transfer",
+    "band_regroup_plan",
     "redistribute",
     "transfer_plan",
 ]

@@ -10,6 +10,12 @@ The implementation is geometry-first: :func:`transfer_plan` computes the
 exact set of (source rank, destination rank, global-slab) triples — a
 pure function that tests can verify tiles the grid — and
 :func:`redistribute` executes a plan over the in-process transport.
+
+The band axis gets the same treatment: :func:`band_regroup_plan` maps
+every global band from its slot under one :class:`~repro.grid.bandgroups
+.BandGroups` layout to its slot under another — the geometry a
+band-group-aware shrink restart composes with :func:`transfer_plan`
+(domains re-sliced per group, bands re-gathered per new group).
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.grid.array import LocalGrid
+from repro.grid.bandgroups import BandGroups
 from repro.grid.decompose import Decomposition
 from repro.grid.halo import HaloSpec
 from repro.transport.inproc import RankEndpoint
@@ -71,6 +78,50 @@ def transfer_plan(old: Decomposition, new: Decomposition) -> list[Transfer]:
             if inter is not None:
                 plan.append(Transfer(src=src, dst=dst, global_slices=inter))
     return plan
+
+
+@dataclass(frozen=True)
+class BandMove:
+    """One band's slot change between two :class:`BandGroups` layouts.
+
+    Band ``band`` sits at local index ``src_index`` inside group
+    ``src_group``'s contiguous stack under the old layout, and at
+    ``dst_index`` inside ``dst_group`` under the new one.  Domain
+    re-slicing is orthogonal and handled by :func:`transfer_plan`.
+    """
+
+    band: int
+    src_group: int
+    src_index: int
+    dst_group: int
+    dst_index: int
+
+
+def band_regroup_plan(old: BandGroups, new: BandGroups) -> list[BandMove]:
+    """Where every band moves when the group layout changes.
+
+    Pure geometry, one entry per global band, in band order — tests can
+    verify the moves are a bijection that exactly partitions the band
+    axis under both layouts.  Any ``(old, new)`` pair over the same band
+    count is valid: growing, shrinking or re-slicing the group count
+    (``nb' <= nb`` is the recovery path, but the plan is direction-
+    agnostic).
+    """
+    if old.n_bands != new.n_bands:
+        raise ValueError(
+            f"band regroup requires identical band counts; got "
+            f"{old.n_bands} vs {new.n_bands}"
+        )
+    return [
+        BandMove(
+            band=b,
+            src_group=old.group_of_band(b),
+            src_index=b - old.group_of_band(b) * old.bands_per_group,
+            dst_group=new.group_of_band(b),
+            dst_index=b - new.group_of_band(b) * new.bands_per_group,
+        )
+        for b in range(old.n_bands)
+    ]
 
 
 def _to_local(global_slices: Slices3, block_slices: Slices3, width: int) -> Slices3:

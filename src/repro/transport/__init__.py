@@ -53,6 +53,7 @@ from repro.transport.supervisor import (
     CrashReport,
     RetryPolicy,
     SupervisedResult,
+    crash_report_from,
     run_ranks_supervised,
 )
 
@@ -74,6 +75,7 @@ __all__ = [
     "StepInfo",
     "SupervisedResult",
     "TransportError",
+    "crash_report_from",
     "decode_halo_tag",
     "describe_tag",
     "is_transient",

@@ -84,7 +84,15 @@ class SupervisedResult:
     reports: list[CrashReport] = field(default_factory=list)
 
 
-def _report_from(exc: TransportError, attempts: int, fault_events: tuple) -> CrashReport:
+def crash_report_from(
+    exc: TransportError, attempts: int = 1, fault_events: tuple = ()
+) -> CrashReport:
+    """Build a :class:`CrashReport` from a raised :class:`TransportError`.
+
+    Public so any recovery layer (e.g. :class:`repro.dft.recovery
+    .RecoveryController`) can attribute a failure it caught itself,
+    without going through :func:`run_ranks_supervised`.
+    """
     return CrashReport(
         failed_rank=getattr(exc, "failed_rank", None),
         error_type=type(exc).__name__,
@@ -95,6 +103,10 @@ def _report_from(exc: TransportError, attempts: int, fault_events: tuple) -> Cra
         fault_events=fault_events,
         peer_errors=getattr(exc, "peer_errors", ()),
     )
+
+
+#: backward-compatible private alias
+_report_from = crash_report_from
 
 
 def run_ranks_supervised(

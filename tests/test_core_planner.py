@@ -209,3 +209,91 @@ class TestDesCrossCheck:
             planner._band_plan(problem, 32, spec.layout.n_band_groups)
         )
         assert des == pytest.approx(fd.total * 8 + band.total, rel=1e-12)
+
+
+class TestDegrade:
+    """Recovery replanning: functional-plane rules on the survivors."""
+
+    def spec(self, n_cores=16, nb=4, n_grids=16, approach="flat-optimized"):
+        from repro.core.jobspec import JobSpec, LayoutSpec, RuntimeSpec
+
+        return JobSpec(
+            problem=ProblemSpec(shape=(24, 24, 24), n_grids=n_grids),
+            layout=LayoutSpec(
+                approach=approach, n_cores=n_cores, n_band_groups=nb
+            ),
+            runtime=RuntimeSpec(tolerance=1e-5, seed=3, eig_tol=1e-8),
+        )
+
+    def test_choices_keep_approach_and_runtime(self):
+        spec = self.spec()
+        result = Planner().degrade(spec, 12)
+        assert result.choices
+        for ch in result.choices:
+            assert ch.spec.layout.approach == "flat-optimized"
+            assert ch.spec.layout.n_cores == 12
+            # the runtime section rides along verbatim, so the winner
+            # rebuilds the run (eig_tol, tolerance, seed and all)
+            assert ch.spec.runtime == spec.runtime
+        best = result.best()
+        assert best.rank == 1
+        assert best.predicted_time <= result.choices[-1].predicted_time
+
+    def test_group_count_never_grows(self):
+        # nb' <= nb: the checkpoint regroup path shrinks group counts
+        result = Planner().degrade(self.spec(nb=2), 12)
+        assert result.choices
+        assert all(
+            ch.spec.layout.n_band_groups <= 2 for ch in result.choices
+        )
+
+    def test_partial_survivor_counts_allowed(self):
+        # unlike enumerate(): rank threads, not BG/P nodes — 13 of 16
+        # survivors is a valid degraded layout (at nb = 1)
+        result = Planner().degrade(self.spec(), 13)
+        assert result.choices
+        assert all(ch.spec.layout.n_cores == 13 for ch in result.choices)
+        assert all(
+            ch.spec.layout.n_band_groups == 1 for ch in result.choices
+        )
+
+    def test_indivisible_groups_rejected_with_reason(self):
+        # 13 cores: nb in {2, 4} cannot divide them; typed rejections
+        result = Planner().degrade(self.spec(), 13)
+        reasons = {
+            (r.n_band_groups, r.reason.split(" ")[0]) for r in result.rejected
+        }
+        assert (4, "n_cores") in reasons
+        assert (2, "n_cores") in reasons
+
+    def test_band_indivisible_grids_rejected(self):
+        # 18 grids on nb=4: n_grids % 4 != 0 -> rejection, not a crash
+        result = Planner().degrade(
+            self.spec(n_grids=18, nb=2), 12, max_groups=4
+        )
+        assert any(
+            r.n_band_groups == 4 and "n_grids" in r.reason
+            for r in result.rejected
+        )
+
+    def test_hybrid_partial_nodes_rejected_not_raised(self):
+        # a hybrid spec keeps its whole-node pricing constraint; on 13
+        # survivors that is a typed rejection, never an exception
+        spec = self.spec(approach="hybrid-multiple", nb=1)
+        result = Planner().degrade(spec, 13)
+        assert not result.choices
+        assert any("whole nodes" in r.reason for r in result.rejected)
+
+    def test_no_survivors_is_a_rejection_not_an_error(self):
+        result = Planner().degrade(self.spec(), 0)
+        assert not result.choices
+        assert result.rejected
+        assert "no surviving cores" in result.rejected[0].reason
+
+    def test_nb_capped_by_core_count(self):
+        # 2 survivors cannot host 4 groups
+        result = Planner().degrade(self.spec(), 2)
+        assert result.choices
+        assert all(
+            ch.spec.layout.n_band_groups <= 2 for ch in result.choices
+        )

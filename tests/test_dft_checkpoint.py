@@ -285,3 +285,121 @@ class TestEmbeddedJobSpec:
         assert legacy.jobspec is None
         resumed = aniso_scf(2, store=None).run(resume_from=legacy)
         assert resumed.iterations == 4
+
+
+class TestRegroupCheckpoint:
+    """Pure-numpy shrink/regroup of a committed band-parallel snapshot."""
+
+    def make_ckpt(self, n_ranks=4, nb=2, n_bands=4, shape=(8, 8, 8), seed=3):
+        from repro.grid import BandGroups
+
+        gd = GridDescriptor(shape)
+        lay = BandGroups(n_ranks=n_ranks, n_bands=n_bands, n_groups=nb)
+        decomp = Decomposition(gd, lay.ranks_per_group)
+        rng = np.random.default_rng(seed)
+        states = rng.standard_normal((n_bands,) + shape)
+        scalars = {
+            name: rng.standard_normal(shape) for name in CHECKPOINT_FIELDS[1:]
+        }
+        bpg = n_bands // nb
+        blocks = {}
+        for rank in range(n_ranks):
+            g, d = lay.group_of(rank), lay.domain_of(rank)
+            sl = decomp.block_slices(d)
+            blocks[rank] = {
+                "states": states[(slice(g * bpg, (g + 1) * bpg),) + sl].copy()
+            }
+            for name, full in scalars.items():
+                blocks[rank][name] = full[sl].copy()
+        ckpt = SCFCheckpoint(
+            iteration=5, n_domains=n_ranks, shape=shape,
+            energies=np.arange(n_bands, dtype=float), blocks=blocks,
+            n_band_groups=nb, jobspec={"problem": {"shape": list(shape)}},
+        )
+        return gd, states, scalars, ckpt
+
+    @pytest.mark.parametrize("new_ranks,new_nb", [
+        (2, 1),   # shrink ranks, re-gather bands
+        (3, 1),   # shrink to a non-divisor rank count
+        (2, 2),   # shrink ranks, keep groups
+        (4, 4),   # same ranks, more groups (direction-agnostic)
+        (4, 2),   # identity
+    ])
+    def test_regroup_preserves_global_fields(self, new_ranks, new_nb):
+        from repro.dft import regroup_checkpoint
+        from repro.grid import BandGroups
+
+        gd, states, scalars, ckpt = self.make_ckpt()
+        out = regroup_checkpoint(ckpt, gd, new_ranks, new_nb)
+        assert out.n_domains == new_ranks
+        assert out.n_band_groups == new_nb
+        lay = BandGroups(n_ranks=new_ranks, n_bands=4, n_groups=new_nb)
+        decomp = Decomposition(gd, lay.ranks_per_group)
+        bpg = 4 // new_nb
+        for rank in range(new_ranks):
+            g, d = lay.group_of(rank), lay.domain_of(rank)
+            sl = decomp.block_slices(d)
+            np.testing.assert_array_equal(
+                out.blocks[rank]["states"],
+                states[(slice(g * bpg, (g + 1) * bpg),) + sl],
+            )
+            for name, full in scalars.items():
+                np.testing.assert_array_equal(out.blocks[rank][name], full[sl])
+
+    def test_keeps_iteration_energies_and_jobspec(self):
+        from repro.dft import regroup_checkpoint
+
+        gd, _, _, ckpt = self.make_ckpt()
+        out = regroup_checkpoint(ckpt, gd, 2, 1)
+        assert out.iteration == ckpt.iteration
+        np.testing.assert_array_equal(out.energies, ckpt.energies)
+        assert out.jobspec == ckpt.jobspec
+
+    def test_band_indivisible_group_count_rejected(self):
+        from repro.dft import regroup_checkpoint
+
+        gd, _, _, ckpt = self.make_ckpt()  # 4 bands
+        with pytest.raises(ValueError, match="band groups"):
+            regroup_checkpoint(ckpt, gd, 3, 3)
+
+    def test_rank_indivisible_group_count_rejected(self):
+        from repro.dft import regroup_checkpoint
+
+        gd, _, _, ckpt = self.make_ckpt()
+        with pytest.raises(ValueError, match="divisible"):
+            regroup_checkpoint(ckpt, gd, 3, 2)
+
+
+class TestBandGroupMarkers:
+    def test_marker_records_band_group_layout(self, tmp_path):
+        import json
+
+        from repro.dft.checkpoint import CHECKPOINT_VERSION
+
+        store = FileCheckpointStore(tmp_path)
+        decomp = Decomposition(GridDescriptor((8, 8, 8)), 1)
+        spec_dict = {"problem": {"shape": [8, 8, 8], "n_grids": 2}}
+        for rank in (0, 1):  # 2 ranks x 2 groups, one domain each
+            store.deposit(
+                1, rank, 2, (8, 8, 8), np.array([1.0]),
+                make_fields(decomp.block_shape(0)),
+                n_band_groups=2, jobspec=spec_dict,
+            )
+        markers = list(tmp_path.glob("*.json"))
+        assert len(markers) == 1
+        marker = json.loads(markers[0].read_text())
+        assert marker["version"] == CHECKPOINT_VERSION == 2
+        assert marker["n_band_groups"] == 2
+        assert marker["jobspec"] == spec_dict
+
+    def test_reopened_store_restores_band_group_layout(self, tmp_path):
+        store = FileCheckpointStore(tmp_path)
+        decomp = Decomposition(GridDescriptor((8, 8, 8)), 1)
+        for rank in (0, 1):
+            store.deposit(
+                2, rank, 2, (8, 8, 8), np.array([1.0]),
+                make_fields(decomp.block_shape(0)), n_band_groups=2,
+            )
+        again = FileCheckpointStore(tmp_path)
+        ckpt = again.latest()
+        assert ckpt.n_band_groups == 2 and ckpt.n_domains == 2

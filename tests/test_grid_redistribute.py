@@ -131,3 +131,58 @@ class TestRedistribute:
     def test_property_any_layout_pair_roundtrips(self, old_shape, new_shape, seed):
         a, b = self.roundtrip((16, 16, 16), old_shape, new_shape, 8, seed=seed)
         np.testing.assert_array_equal(a, b)
+
+
+class TestBandRegroupPlan:
+    def plans(self, n_ranks_old, nb_old, n_ranks_new, nb_new, n_bands=8):
+        from repro.grid import BandGroups, band_regroup_plan
+
+        old = BandGroups(n_ranks_old, n_bands, nb_old)
+        new = BandGroups(n_ranks_new, n_bands, nb_new)
+        return old, new, band_regroup_plan(old, new)
+
+    def test_one_move_per_band_in_band_order(self):
+        _, _, plan = self.plans(8, 4, 4, 2)
+        assert [m.band for m in plan] == list(range(8))
+
+    def test_moves_partition_both_layouts(self):
+        # src slots tile the old layout exactly once, dst slots the new
+        old, new, plan = self.plans(8, 4, 6, 2)
+        src = {(m.src_group, m.src_index) for m in plan}
+        dst = {(m.dst_group, m.dst_index) for m in plan}
+        assert src == {
+            (g, i)
+            for g in range(old.n_groups)
+            for i in range(old.bands_per_group)
+        }
+        assert dst == {
+            (g, i)
+            for g in range(new.n_groups)
+            for i in range(new.bands_per_group)
+        }
+
+    def test_identity_layout_is_identity_plan(self):
+        _, _, plan = self.plans(8, 4, 8, 4)
+        for m in plan:
+            assert (m.src_group, m.src_index) == (m.dst_group, m.dst_index)
+
+    def test_regather_to_single_group(self):
+        # the recovery path: all bands land in group 0, in band order
+        _, _, plan = self.plans(8, 4, 3, 1)
+        for m in plan:
+            assert m.dst_group == 0 and m.dst_index == m.band
+
+    def test_growing_groups_is_valid(self):
+        # direction-agnostic geometry: 1 -> 4 groups splits the stack
+        _, new, plan = self.plans(2, 1, 4, 4)
+        for m in plan:
+            assert m.src_group == 0 and m.src_index == m.band
+            assert m.dst_group == m.band // new.bands_per_group
+
+    def test_band_count_mismatch_rejected(self):
+        from repro.grid import BandGroups, band_regroup_plan
+
+        with pytest.raises(ValueError, match="identical band counts"):
+            band_regroup_plan(
+                BandGroups(4, 8, 2), BandGroups(4, 4, 2)
+            )
