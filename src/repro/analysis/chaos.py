@@ -127,6 +127,9 @@ class _StencilScenario:
 
 def _scf_kill_resume(seed: int, timeout: float) -> ChaosOutcome:
     """Rank kill mid-SCF; checkpoint/restart resumes and completes."""
+    from repro.core.jobspec import (
+        JobSpec, LayoutSpec, ProblemSpec, RuntimeSpec,
+    )
     from repro.dft import DistributedSCF, MemoryCheckpointStore
 
     n = 6
@@ -134,11 +137,18 @@ def _scf_kill_resume(seed: int, timeout: float) -> ChaosOutcome:
     x, y, z = gd.coordinates()
     c = (n + 1) * 0.6 / 2
     v = 0.5 * ((x - c) ** 2 + 1.44 * (y - c) ** 2 + 1.96 * (z - c) ** 2)
+    spec = JobSpec(
+        problem=ProblemSpec.from_grid(gd, 1),
+        layout=LayoutSpec(n_cores=2),
+        runtime=RuntimeSpec(
+            mixing=0.6, tolerance=0.0, max_iterations=4,
+            band_iterations=4, seed=seed,
+        ),
+    )
+
     def make(store):
-        return DistributedSCF(
-            gd, v, n_bands=1, n_ranks=2, occupations=[2.0], mixing=0.6,
-            tolerance=0.0, max_iterations=4, band_iterations=4,
-            checkpoint_store=store, seed=seed,
+        return DistributedSCF.from_spec(
+            spec, v, occupations=[2.0], checkpoint_store=store
         )
 
     oracle = make(None).run()  # fault-free twin, no shared store
@@ -181,7 +191,8 @@ def _scf_kill_resume(seed: int, timeout: float) -> ChaosOutcome:
 
 
 def _controller_kill(
-    seed: int, timeout: float, nb: int, adaptive: bool
+    seed: int, timeout: float, nb: int, adaptive: bool,
+    flightrec_dir: str | None = None,
 ) -> ChaosOutcome:
     """Rank kill mid-band-parallel SCF; the RecoveryController replans.
 
@@ -190,8 +201,13 @@ def _controller_kill(
     feasible layout on the survivors, and regroups the checkpoint onto
     it.  With ``adaptive=True`` the checkpoint cadence is derived live
     from Daly's interval instead of the static ``checkpoint_every``.
+    ``flightrec_dir`` attaches a flight recorder and writes its crash
+    dump(s) there as JSON — the CI artifact on fatal injections.
     """
     from repro.core import DegradationError, DegradationPolicy
+    from repro.core.jobspec import (
+        JobSpec, LayoutSpec, ProblemSpec, RuntimeSpec,
+    )
     from repro.dft import (
         DistributedSCF,
         MemoryCheckpointStore,
@@ -203,13 +219,18 @@ def _controller_kill(
     x, y, z = gd.coordinates()
     c = (n + 1) * 0.6 / 2
     v = 0.5 * ((x - c) ** 2 + 1.44 * (y - c) ** 2 + 1.96 * (z - c) ** 2)
+    spec = JobSpec(
+        problem=ProblemSpec.from_grid(gd, 4),
+        layout=LayoutSpec(n_cores=4, n_band_groups=nb),
+        runtime=RuntimeSpec(
+            mixing=0.6, tolerance=0.0, max_iterations=4,
+            band_iterations=4, checkpoint_every=1, seed=seed,
+        ),
+    )
 
     def make(store):
-        return DistributedSCF(
-            gd, v, n_bands=4, n_ranks=4, n_band_groups=nb,
-            occupations=[2.0] * 4, mixing=0.6, tolerance=0.0,
-            max_iterations=4, band_iterations=4,
-            checkpoint_store=store, checkpoint_every=1, seed=seed,
+        return DistributedSCF.from_spec(
+            spec, v, occupations=[2.0] * 4, checkpoint_store=store
         )
 
     oracle = make(None).run()  # fault-free twin, no shared store
@@ -229,11 +250,20 @@ def _controller_kill(
         adaptive_cadence=adaptive,
         expected_mtbf=0.5 if adaptive else None,
     )
-    ctrl = RecoveryController(scf, policy=policy, transport_factory=factory)
+    recorder = None
+    if flightrec_dir is not None:
+        from repro.obs import FlightRecorder
+
+        recorder = FlightRecorder(capacity=8, plane="real")
+    ctrl = RecoveryController(
+        scf, policy=policy, transport_factory=factory,
+        flight_recorder=recorder,
+    )
     name = f"ctrl-kill-nb{nb}" + ("-adaptive" if adaptive else "")
     try:
         res = ctrl.run()
     except (TransportError, DegradationError) as exc:
+        _write_flight_dumps(ctrl, name, flightrec_dir)
         return ChaosOutcome(
             scenario=name,
             injected=len(plan.events),
@@ -242,6 +272,7 @@ def _controller_kill(
             identical=False,
             errors=(type(exc).__name__,),
         )
+    _write_flight_dumps(ctrl, name, flightrec_dir)
     identical = bool(
         np.isfinite(res.total_energy)
         and abs(res.total_energy - oracle.total_energy) < 1e-8
@@ -256,12 +287,27 @@ def _controller_kill(
     )
 
 
+def _write_flight_dumps(ctrl, scenario: str, flightrec_dir: str | None) -> None:
+    """Persist the controller's flight-recorder dumps as JSON artifacts."""
+    if flightrec_dir is None or not getattr(ctrl, "flight_dumps", None):
+        return
+    import json
+    import os
+
+    os.makedirs(flightrec_dir, exist_ok=True)
+    for i, dump in enumerate(ctrl.flight_dumps):
+        path = os.path.join(flightrec_dir, f"flightrec-{scenario}-{i}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(dump, fh, indent=1)
+
+
 def run_chaos_suite(
     seed: int = 0,
     n_ranks: int = 2,
     timeout: float = 1.0,
     scf: bool = True,
     controller: bool = False,
+    flightrec_dir: str | None = None,
 ) -> list[ChaosOutcome]:
     """Run every chaos scenario for one seed; deterministic per seed."""
     sc = _StencilScenario(n_ranks)
@@ -288,9 +334,24 @@ def run_chaos_suite(
         # planner-driven degradation, kill mid-run with nb in {2, 4};
         # the adaptive row exists to compare cadence policies side by
         # side in the printed matrix
-        outcomes.append(_controller_kill(seed, timeout, nb=2, adaptive=False))
-        outcomes.append(_controller_kill(seed, timeout, nb=4, adaptive=False))
-        outcomes.append(_controller_kill(seed, timeout, nb=2, adaptive=True))
+        outcomes.append(
+            _controller_kill(
+                seed, timeout, nb=2, adaptive=False,
+                flightrec_dir=flightrec_dir,
+            )
+        )
+        outcomes.append(
+            _controller_kill(
+                seed, timeout, nb=4, adaptive=False,
+                flightrec_dir=flightrec_dir,
+            )
+        )
+        outcomes.append(
+            _controller_kill(
+                seed, timeout, nb=2, adaptive=True,
+                flightrec_dir=flightrec_dir,
+            )
+        )
     return outcomes
 
 

@@ -19,6 +19,9 @@ Usage::
     python -m repro timeline --planes real sim model
     python -m repro metrics           # instrumented SCF -> metrics snapshot
     python -m repro plan --cores 16384   # rank every feasible configuration
+    python -m repro critpath --plane sim # blame-bucket attribution
+    python -m repro doctor            # run -> attribute -> conformance verdict
+    python -m repro doctor --delay-rank 2 --strict   # straggler demo
 
 The shared ``--approach/--cores/--grids/--batch-size/--shape`` options
 are declared once, from :data:`repro.core.jobspec.CLI_KNOBS`; each
@@ -328,11 +331,14 @@ def _cmd_chaos(args: argparse.Namespace) -> str:
     outcomes = run_chaos_suite(
         seed=args.seed, n_ranks=args.ranks, scf=not args.no_scf,
         controller=args.controller,
+        flightrec_dir=getattr(args, "flightrec_dir", None),
     )
     table = survival_matrix(outcomes)
     ok = suite_passed(outcomes)
     verdict = "chaos suite: PASS" if ok else "chaos suite: FAIL"
     out = f"{table}\n{verdict} (seed {args.seed})"
+    if getattr(args, "flightrec_dir", None) and args.controller:
+        out += f"\nflight-recorder dumps in {args.flightrec_dir}/"
     if not ok:
         raise SystemExit(out)
     return out
@@ -417,21 +423,29 @@ def _cmd_metrics(args: argparse.Namespace) -> str:
 
     import numpy as np
 
+    from repro.core.jobspec import JobSpec, LayoutSpec, ProblemSpec, RuntimeSpec
     from repro.dft.distributed_scf import DistributedSCF
     from repro.dft.checkpoint import MemoryCheckpointStore
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.export import format_metrics
 
     registry = MetricsRegistry()
-    gd = GridDescriptor((args.size,) * 3, pbc=(False, False, False))
     x, y, z = np.meshgrid(*(np.arange(args.size),) * 3, indexing="ij")
     r2 = sum((c - (args.size - 1) / 2) ** 2 for c in (x, y, z))
     v = 0.05 * r2
     store = MemoryCheckpointStore(metrics=registry)
-    DistributedSCF(
-        gd, v, n_bands=args.bands, n_ranks=args.ranks,
-        tolerance=1e-3, max_iterations=args.iterations,
-        checkpoint_store=store, metrics=registry,
+    spec = JobSpec(
+        problem=ProblemSpec(
+            shape=(args.size,) * 3, n_grids=args.bands,
+            pbc=(False, False, False),
+        ),
+        layout=LayoutSpec(n_cores=args.ranks),
+        runtime=RuntimeSpec(
+            tolerance=1e-3, max_iterations=args.iterations
+        ),
+    )
+    DistributedSCF.from_spec(
+        spec, v, checkpoint_store=store, metrics=registry
     ).run()
     if args.json:
         return json.dumps(registry.snapshot(), indent=1)
@@ -440,6 +454,67 @@ def _cmd_metrics(args: argparse.Namespace) -> str:
         f"{args.size}^3, <= {args.iterations} iterations"
     )
     return head + "\n" + format_metrics(registry)
+
+
+def _cmd_critpath(args: argparse.Namespace) -> str:
+    """Critical-path blame attribution of one configuration's trace."""
+    from repro.analysis.timeline import step_trace_for
+    from repro.core.jobspec import spec_from_args
+    from repro.obs.critpath import critical_path, plan_for_spec
+
+    spec = spec_from_args(args)
+    tracer = step_trace_for(
+        args.plane, args.approach, args.cores, args.grids,
+        tuple(args.shape), args.batch_size, args.ramp_up,
+    )
+    # the model plane is a single representative worker: no cross-rank
+    # edges exist, so the plan is only needed for the executing planes
+    plan = plan_for_spec(spec) if args.plane in ("real", "sim") else None
+    result = critical_path(tracer, plan=plan)
+    head = (
+        f"critical-path attribution — {args.approach} @ {args.cores} "
+        f"cores, {args.grids} grids of {'x'.join(map(str, args.shape))}, "
+        f"{args.plane} plane"
+    )
+    return head + "\n" + result.format()
+
+
+def _cmd_doctor(args: argparse.Namespace) -> str:
+    """One-shot diagnosis: run, attribute, conformance verdict."""
+    from repro.core.jobspec import spec_from_args
+    from repro.core.simrun import simulate_spec
+    from repro.obs.conformance import check_conformance
+    from repro.obs.critpath import plan_for_spec
+    from repro.obs.spans import SpanTracer
+
+    spec = spec_from_args(args)
+    if args.placement != "auto":
+        spec = spec.with_runtime(placement=args.placement)
+    fault_plan = None
+    if args.delay_rank is not None:
+        from repro.transport.faults import FaultPlan
+
+        fault_plan = FaultPlan(
+            seed=0, inject={(args.delay_rank, 0): "delay"}, delay=args.delay
+        )
+    tracer = SpanTracer(plane="sim")
+    simulate_spec(spec, fault_plan=fault_plan, step_tracer=tracer)
+    report = check_conformance(tracer, spec, plan=plan_for_spec(spec))
+    head = (
+        f"doctor — {spec.layout.approach} @ {spec.layout.n_cores} cores, "
+        f"{spec.problem.n_grids} grids of "
+        f"{'x'.join(map(str, spec.problem.shape))} (DES trace vs model)"
+    )
+    verdict = (
+        "doctor: OK" if not report.findings
+        else f"doctor: {len(report.findings)} finding(s)"
+    )
+    out = "\n".join(
+        [head, report.critpath.format(), report.format(), verdict]
+    )
+    if args.strict and report.findings:
+        raise SystemExit(out)
+    return out
 
 
 def _cmd_report(args: argparse.Namespace) -> str:
@@ -526,6 +601,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="add RecoveryController scenarios: kill mid-run "
                          "with band groups (nb=2,4), static vs adaptive "
                          "checkpoint cadence")
+    pc.add_argument("--flightrec-dir", metavar="DIR", default=None,
+                    help="write flight-recorder crash dumps (JSON) from the "
+                         "controller scenarios into this directory")
     pm = sub.add_parser(
         "mtbf", help="Daly checkpoint-cadence sweep at paper scale"
     )
@@ -558,6 +636,29 @@ def build_parser() -> argparse.ArgumentParser:
                     help="planes to render (default: real sim)")
     pl.add_argument("--diff", action="store_true",
                     help="append the real-vs-sim step-kind diff")
+    pcp = sub.add_parser(
+        "critpath",
+        help="critical-path blame attribution of one configuration",
+    )
+    _trace_config(pcp)
+    pcp.add_argument("--plane", choices=["real", "sim", "model"],
+                     default="sim",
+                     help="which execution plane to attribute (default sim)")
+    pd = sub.add_parser(
+        "doctor",
+        help="run + attribute + model-conformance verdict in one table",
+    )
+    _trace_config(pd)
+    pd.add_argument("--placement", choices=["auto", "cyclic", "spread"],
+                    default="auto",
+                    help="DES domain-to-rank strategy (default: the spec's)")
+    pd.add_argument("--delay-rank", type=int, default=None, metavar="RANK",
+                    help="inject a delay fault on this rank's first send "
+                         "(straggler demo)")
+    pd.add_argument("--delay", type=float, default=0.05,
+                    help="injected delay seconds (default 0.05)")
+    pd.add_argument("--strict", action="store_true",
+                    help="exit nonzero when any finding is raised")
     pme = sub.add_parser(
         "metrics", help="run a small instrumented SCF and dump its metrics"
     )
@@ -591,6 +692,8 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "timeline": _cmd_timeline,
     "metrics": _cmd_metrics,
+    "critpath": _cmd_critpath,
+    "doctor": _cmd_doctor,
 }
 
 

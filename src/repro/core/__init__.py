@@ -43,10 +43,13 @@ from repro.core.schedule import (
     PartialGemm,
     RingSendRecv,
     SchedulePlan,
+    StepDependency,
     clear_plan_cache,
     compile_band_schedule,
     compile_schedule,
     plan_cache_stats,
+    plan_dependencies,
+    recv_sources,
     ring_tag,
     timing_plane_workers,
     tracer_hook,
@@ -107,6 +110,9 @@ __all__ = [
     "clear_plan_cache",
     "compile_band_schedule",
     "compile_schedule",
+    "StepDependency",
+    "plan_dependencies",
+    "recv_sources",
     "plan_cache_stats",
     "ring_tag",
     "timing_plane_workers",

@@ -145,7 +145,9 @@ class RuntimeSpec:
     eigensolver and ``checkpoint_keep`` the stores' retention window —
     former loose constructor arguments, now serialized with every other
     knob so a restarted run reconstructs them from the snapshot's
-    embedded spec.
+    embedded spec.  ``placement`` is the DES domain-to-rank strategy
+    (``simulate_spec`` reads it when no explicit override is given) —
+    the last formerly hard-coded constructor default.
     """
 
     tolerance: float = 1e-4
@@ -158,6 +160,7 @@ class RuntimeSpec:
     eig_tol: float = 1e-7
     eigensolver: str = "arpack"
     checkpoint_keep: int = 2
+    placement: str = "auto"
 
     def __post_init__(self) -> None:
         check_nonnegative(self.tolerance, "tolerance")
@@ -172,6 +175,7 @@ class RuntimeSpec:
         check_nonnegative(self.eig_tol, "eig_tol")
         check_in(self.eigensolver, ("arpack", "rmm-diis"), "eigensolver")
         check_positive_int(self.checkpoint_keep, "checkpoint_keep")
+        check_in(self.placement, ("auto", "cyclic", "spread"), "placement")
 
 
 @dataclass(frozen=True)
@@ -252,6 +256,7 @@ class JobSpec:
                 "eig_tol": self.runtime.eig_tol,
                 "eigensolver": self.runtime.eigensolver,
                 "checkpoint_keep": self.runtime.checkpoint_keep,
+                "placement": self.runtime.placement,
             },
         }
 

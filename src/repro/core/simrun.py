@@ -448,7 +448,7 @@ def simulate_fd(
 def simulate_spec(
     jobspec,
     spec: MachineSpec = BGP_SPEC,
-    placement: str = "auto",
+    placement: Optional[str] = None,
     trace: bool = False,
     fault_plan: Optional[FaultPlan] = None,
     step_tracer: Optional[SpanTracer] = None,
@@ -460,9 +460,15 @@ def simulate_spec(
     so that *is* the step's FD wall time); the ring pass is priced
     separately via :func:`simulate_band_plan`, which is how
     :meth:`~repro.core.planner.Planner.cross_check` combines the two.
+
+    ``placement`` defaults to the spec's own serialized
+    ``runtime.placement``; pass a strategy name to override it for one
+    replay without rewriting the spec.
     """
     if step_tracer is not None and getattr(step_tracer, "config_hash", None) is None:
         step_tracer.config_hash = jobspec.config_hash()
+    if placement is None:
+        placement = jobspec.runtime.placement
     return simulate_fd(
         jobspec.group_job(),
         jobspec.approach_obj(),

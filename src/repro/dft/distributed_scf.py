@@ -337,7 +337,7 @@ class DistributedSCF:
     # -- the rank program --------------------------------------------------------
     def _rank_run(
         self, ep: RankEndpoint, v_ext_blocks, initial_blocks,
-        restore=None, step_tracer=None,
+        restore=None, step_tracer=None, flight_recorder=None,
     ):
         rank = ep.rank
         lay = self.layout
@@ -457,6 +457,8 @@ class DistributedSCF:
                         m_iters.inc()
                         m_seconds.observe(time.perf_counter() - it_t0)
                         m_energy.set(float(np.dot(self.occ, energies)))
+                        if flight_recorder is not None:
+                            flight_recorder.mark_iteration(it)
                     break
             rho_old = rho.copy()
 
@@ -510,6 +512,11 @@ class DistributedSCF:
                 m_iters.inc()
                 m_seconds.observe(time.perf_counter() - it_t0)
                 m_energy.set(float(np.dot(self.occ, energies)))
+                if flight_recorder is not None:
+                    # rotate the flight window at the iteration boundary
+                    # so the ring buffer holds whole iterations (the
+                    # deltas include this iteration's counter increments)
+                    flight_recorder.mark_iteration(it)
 
         # final Rayleigh-Ritz: report clean eigenvalues of the last
         # potential (the in-loop energies lag the post-line-step states)
@@ -564,6 +571,7 @@ class DistributedSCF:
         transport=None,
         resume_from: SCFCheckpoint | None = None,
         step_tracer=None,
+        flight_recorder=None,
     ) -> DistributedSCFResult:
         """Scatter, iterate on rank threads, gather.
 
@@ -583,7 +591,15 @@ class DistributedSCF:
         ``step_tracer`` (a :class:`~repro.obs.spans.SpanTracer`) records
         the executed ring-orthogonalization steps, with resources tagged
         by band group (``bg{group}.rank{domain}.w0``).
+
+        ``flight_recorder`` (a :class:`~repro.obs.flightrec
+        .FlightRecorder`) keeps the last K iterations of spans + metric
+        deltas for post-mortem dumps; its tracer doubles as the
+        ``step_tracer`` when none is given, and rank 0 rotates its
+        window at every iteration boundary.
         """
+        if flight_recorder is not None and step_tracer is None:
+            step_tracer = flight_recorder.tracer
         if transport is None and self.metrics.enabled:
             from repro.transport.inproc import InprocTransport
 
@@ -616,6 +632,7 @@ class DistributedSCF:
             initial_blocks,
             restore,
             step_tracer,
+            flight_recorder,
             transport=transport,
         )
         lay = self.layout

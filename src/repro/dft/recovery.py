@@ -75,6 +75,7 @@ class RecoveryController:
         transport_factory: Optional[Callable[[int, int], object]] = None,
         metrics=None,
         tracer=None,
+        flight_recorder=None,
     ) -> None:
         if scf.checkpoint_store is None:
             raise ValueError(
@@ -92,6 +93,12 @@ class RecoveryController:
             else (scf.metrics if scf.metrics.enabled else None)
         )
         self.tracer = tracer
+        #: :class:`~repro.obs.flightrec.FlightRecorder` fed to every
+        #: attempt's :meth:`DistributedSCF.run`; dumped on each crash and
+        #: before a fatal degradation (see :attr:`flight_dumps`)
+        self.flight_recorder = flight_recorder
+        #: post-mortem artifacts, one per crash/fatal event, in order
+        self.flight_dumps: list[dict] = []
         self.steps: list[DegradationStep] = []
         self.reports: list[CrashReport] = []
         self._m_attempts = self.metrics.counter("recovery_attempts_total")
@@ -186,6 +193,13 @@ class RecoveryController:
                 ))
                 return
             rejections.extend(result.rejected)
+        if self.flight_recorder is not None:
+            # fatal: no feasible layout remains — preserve the window
+            # before the exception unwinds past the caller
+            self.flight_dumps.append(self.flight_recorder.dump(
+                f"fatal degradation: no layout for <= {survivors} ranks",
+                crash_report=report,
+            ))
         raise DegradationError(survivors, rejections)
 
     def _rebuild(self, spec) -> None:
@@ -227,6 +241,7 @@ class RecoveryController:
                     transport=transport,
                     resume_from=resume,
                     step_tracer=step_tracer,
+                    flight_recorder=self.flight_recorder,
                 )
             except TransportError as exc:
                 t1 = time.perf_counter()
@@ -238,6 +253,10 @@ class RecoveryController:
                         exc, attempt, plan.events if plan is not None else ()
                     )
                 self.reports.append(report)
+                if self.flight_recorder is not None:
+                    self.flight_dumps.append(self.flight_recorder.dump(
+                        f"crash: attempt {attempt}", crash_report=report
+                    ))
                 self.metrics.counter(
                     "recovery_failures_total", error=report.error_type
                 ).inc()

@@ -3,10 +3,27 @@
 One metrics registry and one span schema shared by all three execution
 planes (real engine, DES simulation, analytic model), plus the exporters
 that turn any plane's trace into Chrome-tracing JSON, an ASCII Gantt, or
-the paper's compute/comm/sync utilization breakdown.  See
-``docs/OBSERVABILITY.md``.
+the paper's compute/comm/sync utilization breakdown.  On top of the raw
+telemetry sits the attribution layer: critical-path blame buckets
+(:mod:`repro.obs.critpath`), measured-vs-model drift detection
+(:mod:`repro.obs.conformance`) and the crash-coupled flight recorder
+(:mod:`repro.obs.flightrec`).  See ``docs/OBSERVABILITY.md``.
 """
 
+from repro.obs.conformance import (
+    CommDrift,
+    ConformanceReport,
+    LoadImbalance,
+    PerfFinding,
+    StragglerRank,
+    check_conformance,
+)
+from repro.obs.critpath import (
+    BLAME_BUCKETS,
+    CriticalPathResult,
+    blame_bucket,
+    critical_path,
+)
 from repro.obs.export import (
     ascii_gantt,
     chrome_trace,
@@ -17,6 +34,7 @@ from repro.obs.export import (
     parse_chrome_trace,
     utilization_report,
 )
+from repro.obs.flightrec import FlightRecorder, IterationRecord
 from repro.obs.metrics import (
     NULL_REGISTRY,
     Counter,
@@ -61,4 +79,16 @@ __all__ = [
     "diff_step_kinds",
     "format_diff",
     "format_metrics",
+    "BLAME_BUCKETS",
+    "CriticalPathResult",
+    "blame_bucket",
+    "critical_path",
+    "CommDrift",
+    "ConformanceReport",
+    "LoadImbalance",
+    "PerfFinding",
+    "StragglerRank",
+    "check_conformance",
+    "FlightRecorder",
+    "IterationRecord",
 ]

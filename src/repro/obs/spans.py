@@ -224,6 +224,18 @@ class SpanTracer:
                 )
         return list(entries)
 
+    def drain(self) -> list[StepSpan]:
+        """Materialize, return and remove every recorded span.
+
+        The flight recorder's rotation primitive: hooks created by
+        :func:`engine_hook` keep a reference to this tracer, so windowing
+        must empty the tracer in place rather than swap it out.
+        """
+        with self._lock:
+            out = self._materialize()
+            self._entries = []
+            return out
+
     # -- queries -----------------------------------------------------------
     def __len__(self) -> int:
         with self._lock:

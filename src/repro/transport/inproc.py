@@ -20,6 +20,7 @@ Design notes
 from __future__ import annotations
 
 import threading
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
@@ -100,6 +101,9 @@ class TransportStats:
     Increment through :meth:`record_message`.  ``.messages``/``.bytes``
     remain as **deprecated aliases**: readable, and assignable only
     upward (``st.messages += 1`` still works; counters cannot decrease).
+    Assigning through them emits a :class:`DeprecationWarning` — the
+    dataclass-style mutation path will be removed once nothing trips the
+    warning.
     """
 
     __slots__ = ("_messages", "_bytes")
@@ -137,6 +141,12 @@ class TransportStats:
 
     @messages.setter
     def messages(self, value: int) -> None:
+        warnings.warn(
+            "assigning TransportStats.messages is deprecated; "
+            "use record_message()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self._messages.inc(value - self._messages.value)
 
     @property
@@ -145,6 +155,12 @@ class TransportStats:
 
     @bytes.setter
     def bytes(self, value: int) -> None:
+        warnings.warn(
+            "assigning TransportStats.bytes is deprecated; "
+            "use record_message()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self._bytes.inc(value - self._bytes.value)
 
     def __eq__(self, other: object) -> bool:

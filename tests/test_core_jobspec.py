@@ -111,6 +111,39 @@ class TestRuntimeSpec:
         assert MemoryCheckpointStore.from_spec(spec).keep == 7
         assert FileCheckpointStore.from_spec(spec, tmp_path / "c").keep == 7
 
+    def test_placement_validated_and_round_trips(self):
+        with pytest.raises(ValueError):
+            RuntimeSpec(placement="random")
+        spec = JobSpec(
+            problem=ProblemSpec(shape=(8, 8, 8), n_grids=2),
+            runtime=RuntimeSpec(placement="cyclic"),
+        )
+        assert JobSpec.from_dict(spec.to_dict()).runtime.placement == "cyclic"
+        # pre-placement serialized specs load with the default
+        d = spec.to_dict()
+        del d["runtime"]["placement"]
+        assert JobSpec.from_dict(d).runtime.placement == "auto"
+
+    def test_placement_feeds_the_des_runner(self):
+        # simulate_spec defaults its placement from the spec; an explicit
+        # argument still overrides (the sweep tools rely on it)
+        from repro.core.simrun import simulate_spec
+
+        base = JobSpec(
+            problem=ProblemSpec(shape=(16, 16, 16), n_grids=4),
+            layout=LayoutSpec(approach="flat-optimized", n_cores=4),
+        )
+        cyc = base.with_runtime(placement="cyclic")
+        spr = base.with_runtime(placement="spread")
+        assert (
+            simulate_spec(cyc).total
+            == simulate_spec(base, placement="cyclic").total
+        )
+        assert (
+            simulate_spec(spr).total
+            == simulate_spec(base, placement="spread").total
+        )
+
 
 class TestJobSpec:
     def spec(self, **layout):

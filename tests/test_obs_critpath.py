@@ -1,0 +1,186 @@
+"""Critical-path attribution: exact bucket partition, DES-vs-model
+agreement, straggler identification.
+
+The acceptance tests for the attribution layer: blame buckets sum to the
+wall time *exactly* on every plane's trace, the DES critical-path length
+matches the analytic model's iteration time within 5% for the same
+JobSpec, and an injected delay fault is attributed to the injected rank.
+"""
+
+import pytest
+
+from repro.analysis.timeline import sim_step_trace, step_trace_for
+from repro.core.jobspec import JobSpec, LayoutSpec, ProblemSpec
+from repro.obs.critpath import (
+    BLAME_BUCKETS,
+    blame_bucket,
+    critical_path,
+    owner_of_resource,
+    plan_for_spec,
+)
+from repro.obs.spans import SpanTracer, StepSpan
+
+CONFIG = dict(n_cores=8, n_grids=4, shape=(16, 16, 16), batch_size=2)
+
+
+def _spec(approach="hybrid-multiple", n_cores=8, n_grids=4,
+          shape=(16, 16, 16), batch_size=2):
+    return JobSpec(
+        problem=ProblemSpec(shape=shape, n_grids=n_grids),
+        layout=LayoutSpec(approach=approach, n_cores=n_cores,
+                          batch_size=batch_size),
+    )
+
+
+class TestBlameBuckets:
+    def test_known_kinds_map(self):
+        assert blame_bucket("ComputeInterior") == "interior_compute"
+        assert blame_bucket("PartialGemm") == "interior_compute"
+        assert blame_bucket("ComputeBoundary") == "boundary_compute"
+        assert blame_bucket("ApplyLocalWraps") == "boundary_compute"
+        for kind in ("PostSend", "PostRecv", "WaitAll", "RingSendRecv"):
+            assert blame_bucket(kind) == "exposed_comm"
+        assert blame_bucket("GridBarrier") == "barrier_skew"
+        assert blame_bucket("JoinBarrier") == "barrier_skew"
+        assert blame_bucket("whatever") == "other"
+
+    def test_owner_parsing(self):
+        assert owner_of_resource("rank3.w1") == 3
+        assert owner_of_resource("bg1.rank0.w0") == 1
+        assert owner_of_resource("link.xp") is None
+
+
+class TestExactPartition:
+    """sum(buckets) == wall time, bit-exactly, on every plane."""
+
+    @pytest.mark.parametrize("plane", ["sim", "model"])
+    @pytest.mark.parametrize(
+        "name", ["flat-optimized", "hybrid-multiple", "hybrid-master-only"]
+    )
+    def test_buckets_partition_makespan_exactly(self, plane, name):
+        tracer = step_trace_for(plane, name, **CONFIG)
+        result = critical_path(tracer)
+        assert sum(result.buckets.values()) == result.wall_time
+        assert result.wall_time == tracer.makespan()
+        assert set(result.buckets) == set(BLAME_BUCKETS)
+
+    def test_partition_with_plan(self):
+        spec = _spec()
+        tracer = SpanTracer(plane="sim")
+        from repro.core.simrun import simulate_spec
+
+        simulate_spec(spec, step_tracer=tracer)
+        result = critical_path(tracer, plan=plan_for_spec(spec))
+        assert sum(result.buckets.values()) == result.wall_time
+
+    def test_by_rank_partitions_path_time(self):
+        tracer = sim_step_trace("hybrid-multiple", **CONFIG)
+        result = critical_path(tracer)
+        assert sum(result.by_rank.values()) == pytest.approx(
+            result.wall_time, rel=1e-12
+        )
+
+    def test_empty_trace(self):
+        result = critical_path([])
+        assert result.wall_time == 0.0
+        assert result.straggler is None
+        assert result.path == []
+
+
+class TestModelAgreement:
+    """The DES critical-path length matches the analytic model <= 5%."""
+
+    @pytest.mark.parametrize(
+        "name,n_cores,n_grids,shape",
+        [
+            ("hybrid-multiple", 8, 4, (16, 16, 16)),
+            ("flat-optimized", 8, 8, (24, 24, 24)),
+        ],
+    )
+    def test_des_critpath_matches_model_total(
+        self, name, n_cores, n_grids, shape
+    ):
+        from repro.core import FDJob, PerformanceModel, approach_by_name
+        from repro.grid import GridDescriptor
+
+        tracer = sim_step_trace(
+            name, n_cores=n_cores, n_grids=n_grids, shape=shape,
+            batch_size=2,
+        )
+        result = critical_path(tracer)
+        timing = PerformanceModel().evaluate(
+            FDJob(GridDescriptor(shape), n_grids),
+            approach_by_name(name),
+            n_cores,
+            batch_size=2,
+        )
+        assert result.wall_time == pytest.approx(timing.total, rel=0.05)
+
+    def test_model_trace_critpath_is_its_own_makespan(self):
+        """Single-resource model trace: the path is the whole walk."""
+        tracer = step_trace_for("model", "hybrid-multiple", **CONFIG)
+        result = critical_path(tracer)
+        assert result.wall_time == tracer.makespan()
+        # single resource -> no cross-rank blocking at all
+        assert result.imbalance_by_rank == {}
+
+
+class TestStraggler:
+    """An injected delay fault is charged to the injected rank."""
+
+    def _delayed_trace(self, victim, delay=0.05):
+        from repro.core.simrun import simulate_spec
+        from repro.transport import FaultPlan
+
+        spec = _spec(approach="flat-optimized", n_cores=4)
+        tracer = SpanTracer(plane="sim")
+        simulate_spec(
+            spec,
+            fault_plan=FaultPlan(
+                seed=0, inject={(victim, 0): "delay"}, delay=delay
+            ),
+            step_tracer=tracer,
+        )
+        return tracer, spec
+
+    @pytest.mark.parametrize("victim", [0, 1, 2, 3])
+    def test_straggler_is_the_injected_rank(self, victim):
+        tracer, spec = self._delayed_trace(victim)
+        result = critical_path(tracer, plan=plan_for_spec(spec))
+        assert result.straggler == victim
+        assert result.imbalance_by_rank[victim] > 0.01
+
+    def test_straggler_found_without_plan(self):
+        tracer, _spec_ = self._delayed_trace(2)
+        result = critical_path(tracer)
+        assert result.straggler == 2
+
+    def test_fault_free_run_has_no_straggler(self):
+        from repro.core.simrun import simulate_spec
+
+        spec = _spec(approach="flat-optimized", n_cores=4)
+        tracer = SpanTracer(plane="sim")
+        simulate_spec(spec, step_tracer=tracer)
+        result = critical_path(tracer, plan=plan_for_spec(spec))
+        assert result.straggler is None
+        assert all(v == 0.0 for v in result.imbalance_by_rank.values())
+
+
+class TestResultSurface:
+    def test_format_and_summary(self):
+        tracer = sim_step_trace("hybrid-multiple", **CONFIG)
+        result = critical_path(tracer)
+        text = result.format()
+        assert "critical path:" in text
+        assert "interior_compute" in text
+        digest = result.summary()
+        assert digest["wall_time"] == result.wall_time
+        assert digest["n_spans"] == len(tracer)
+        # JSON-ready: rank keys stringified
+        assert all(isinstance(k, str) for k in digest["by_rank"])
+
+    def test_fractions_sum_to_one(self):
+        tracer = sim_step_trace("flat-optimized", **CONFIG)
+        result = critical_path(tracer)
+        total = sum(result.fraction(b) for b in BLAME_BUCKETS)
+        assert total == pytest.approx(1.0, rel=1e-9)

@@ -215,3 +215,62 @@ class TestFormatMetrics:
 
     def test_empty_registry(self):
         assert format_metrics(MetricsRegistry()) == "(no instruments)"
+
+
+class TestParseErrorPaths:
+    """Malformed payloads fail loudly with typed exceptions, never
+    silently return a partial span set."""
+
+    def test_malformed_json_string(self):
+        with pytest.raises(json.JSONDecodeError):
+            parse_chrome_trace('{"traceEvents": [truncated')
+
+    def test_dict_missing_trace_events(self):
+        with pytest.raises(KeyError):
+            parse_chrome_trace({"displayTimeUnit": "ms"})
+
+    def test_x_event_missing_args(self):
+        with pytest.raises(KeyError):
+            parse_chrome_trace(
+                {"traceEvents": [{"ph": "X", "name": "WaitAll"}]}
+            )
+
+    def test_x_event_args_missing_required_keys(self):
+        # args present but truncated: no exact start/end floats
+        event = {
+            "ph": "X",
+            "name": "WaitAll",
+            "args": {"resource": "rank0.w0"},
+        }
+        with pytest.raises(KeyError):
+            parse_chrome_trace({"traceEvents": [event]})
+
+    def test_metadata_only_payload_is_empty_not_an_error(self):
+        events = [{"ph": "M", "name": "process_name", "args": {"name": "r"}}]
+        assert parse_chrome_trace({"traceEvents": events}) == []
+
+    def test_bare_event_list_is_accepted(self):
+        tracer = SpanTracer()
+        tracer.add(StepSpan(resource="rank0.w0", step_kind="WaitAll",
+                            start=0.0, end=1.0))
+        events = chrome_trace(tracer)["traceEvents"]
+        assert parse_chrome_trace({"traceEvents": events}) == tracer.spans()
+
+
+class TestGanttDeterminism:
+    def test_zero_duration_tie_break_is_stable(self):
+        """Spans tied on (start, end) render identically regardless of
+        insertion order — sort_key breaks the tie."""
+        def build(order):
+            tracer = SpanTracer()
+            for kind in order:
+                tracer.add(StepSpan(resource="rank0.w0", step_kind=kind,
+                                    start=1.0, end=1.0))
+            tracer.add(StepSpan(resource="rank0.w0",
+                                step_kind="ComputeInterior",
+                                start=0.0, end=2.0))
+            return ascii_gantt(tracer)
+
+        a = build(["PostSend", "WaitAll", "GridBarrier"])
+        b = build(["GridBarrier", "PostSend", "WaitAll"])
+        assert a == b

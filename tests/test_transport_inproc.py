@@ -178,10 +178,25 @@ class TestBasics:
         st = TransportStats()
         st.record_message(64)
         assert (st.messages, st.bytes) == (1, 64)
-        st.messages += 2  # old dataclass-style mutation still works
-        st.bytes += 100
+        with pytest.warns(DeprecationWarning, match="messages is deprecated"):
+            st.messages += 2  # old dataclass-style mutation still works
+        with pytest.warns(DeprecationWarning, match="bytes is deprecated"):
+            st.bytes += 100
         assert st == TransportStats(messages=3, bytes=164)
         assert "messages=3" in repr(st)
+
+    def test_stats_reads_do_not_warn(self):
+        """Reading the aliases stays silent — only assignment warns."""
+        import warnings
+
+        from repro.transport.inproc import TransportStats
+
+        st = TransportStats()
+        st.record_message(8)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert st.messages == 1
+            assert st.bytes == 8
 
     def test_endpoint_bounds(self):
         tr = InprocTransport(2)

@@ -346,6 +346,9 @@ def measure_recovery(n=6, n_ranks=4, nb=2, iterations=5, repeats=4):
     only gates a loose sanity bound (thread-scheduling noise on shared
     CI runners dwarfs 3% at smoke sizes).
     """
+    from repro.core.jobspec import (
+        JobSpec, LayoutSpec, ProblemSpec, RuntimeSpec,
+    )
     from repro.core.recovery_policy import DegradationPolicy
     from repro.dft import DistributedSCF, MemoryCheckpointStore
     from repro.dft.recovery import RecoveryController
@@ -354,14 +357,18 @@ def measure_recovery(n=6, n_ranks=4, nb=2, iterations=5, repeats=4):
     x, y, z = gd.coordinates()
     c = (n + 1) * 0.6 / 2
     v = 0.5 * ((x - c) ** 2 + 1.44 * (y - c) ** 2 + 1.96 * (z - c) ** 2)
+    spec = JobSpec(
+        problem=ProblemSpec.from_grid(gd, 4),
+        layout=LayoutSpec(n_cores=n_ranks, n_band_groups=nb),
+        runtime=RuntimeSpec(mixing=0.6, tolerance=0.0,
+                            max_iterations=iterations, band_iterations=4,
+                            checkpoint_every=1),
+    )
 
     def make_scf():
-        return DistributedSCF(
-            gd, v, n_bands=4, n_ranks=n_ranks, n_band_groups=nb,
-            occupations=[2.0] * 4, mixing=0.6, tolerance=0.0,
-            max_iterations=iterations, band_iterations=4,
-            checkpoint_store=MemoryCheckpointStore(), checkpoint_every=1,
-            seed=0,
+        return DistributedSCF.from_spec(
+            spec, v, occupations=[2.0] * 4,
+            checkpoint_store=MemoryCheckpointStore(),
         )
 
     def run_baseline():
@@ -404,6 +411,77 @@ def measure_recovery(n=6, n_ranks=4, nb=2, iterations=5, repeats=4):
     }
 
 
+def measure_flightrec(n=6, n_ranks=2, iterations=6, repeats=4, capacity=4):
+    """Flight-recorder overhead gate: steady-state recording is ~free.
+
+    Times the same SCF twice — bare, and with a
+    :class:`~repro.obs.flightrec.FlightRecorder` attached (per-step span
+    recording into the bounded ring plus the per-iteration rotation and
+    counter-delta snapshot).  No crash occurs, so nothing is ever dumped:
+    the gate is that always-on crash forensics cost nearly nothing on the
+    healthy path.  The acceptance bar for the observability PR is
+    ``overhead_pct < 3`` on the full run; ``--smoke`` only gates a loose
+    sanity bound (timer noise on shared CI runners dwarfs 3% at smoke
+    sizes).
+    """
+    from repro.core.jobspec import (
+        JobSpec, LayoutSpec, ProblemSpec, RuntimeSpec,
+    )
+    from repro.dft import DistributedSCF
+    from repro.obs import FlightRecorder
+
+    gd = GridDescriptor((n, n, n), pbc=(False,) * 3, spacing=0.6)
+    x, y, z = gd.coordinates()
+    c = (n + 1) * 0.6 / 2
+    v = 0.5 * ((x - c) ** 2 + 1.44 * (y - c) ** 2 + 1.96 * (z - c) ** 2)
+    spec = JobSpec(
+        problem=ProblemSpec.from_grid(gd, 1),
+        layout=LayoutSpec(n_cores=n_ranks),
+        runtime=RuntimeSpec(mixing=0.6, tolerance=0.0,
+                            max_iterations=iterations, band_iterations=4),
+    )
+
+    def make():
+        return DistributedSCF.from_spec(spec, v, occupations=[2.0])
+
+    def run_disabled():
+        return make().run()
+
+    def run_enabled():
+        rec = FlightRecorder(capacity=capacity, plane="real")
+        return make().run(flight_recorder=rec)
+
+    # correctness cross-check before timing: recording never perturbs
+    # the numerics
+    base = run_disabled()
+    recorded = run_enabled()
+    assert abs(base.total_energy - recorded.total_energy) < 1e-12, (
+        "flight-recorded run diverged from the bare run"
+    )
+
+    # interleave the repeats (see measure_telemetry): host-load drift
+    # between phases must not masquerade as recorder overhead
+    disabled = enabled = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        run_disabled()
+        disabled = min(disabled, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        run_enabled()
+        enabled = min(enabled, time.perf_counter() - t0)
+    overhead = enabled / disabled - 1.0
+    return {
+        "grid": [n, n, n],
+        "n_ranks": n_ranks,
+        "iterations": iterations,
+        "repeats": repeats,
+        "capacity": capacity,
+        "disabled_ms": round(disabled * 1e3, 3),
+        "enabled_ms": round(enabled * 1e3, 3),
+        "overhead_pct": round(overhead * 100, 2),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
@@ -426,6 +504,7 @@ def main(argv=None) -> int:
         # it is only ~2 s
         result["planner"] = measure_planner()
         result["recovery"] = measure_recovery(iterations=2, repeats=2)
+        result["flightrec"] = measure_flightrec(iterations=2, repeats=2)
     else:
         result = measure()
         result["plan_cache"] = measure_plan_cache()
@@ -433,6 +512,7 @@ def main(argv=None) -> int:
         result["orthogonalization"] = measure_orthogonalization()
         result["planner"] = measure_planner()
         result["recovery"] = measure_recovery()
+        result["flightrec"] = measure_flightrec()
     result["mode"] = "smoke" if args.smoke else "full"
     result["host"] = {
         "machine": platform.machine(),
@@ -475,6 +555,11 @@ def main(argv=None) -> int:
           f"{rec['controlled_ms']:.1f} ms controller-driven "
           f"({rec['overhead_pct']:+.2f}% overhead, fault-free, "
           f"{rec['n_ranks']}r/{rec['n_band_groups']}g)")
+    fr = result["flightrec"]
+    print(f"  flightrec: {fr['disabled_ms']:.1f} ms bare vs "
+          f"{fr['enabled_ms']:.1f} ms recorded "
+          f"({fr['overhead_pct']:+.2f}% overhead, ring capacity "
+          f"{fr['capacity']})")
 
     if not args.smoke and result["batched_speedup"] < 1.5:
         print("FAIL: batched speedup below the 1.5x acceptance bar",
@@ -507,6 +592,12 @@ def main(argv=None) -> int:
         print(f"FAIL: fault-free controller-driven run costs "
               f"{rec['overhead_pct']:.2f}% over the direct run "
               f"(bar: <{recovery_bar:.0f}%)", file=sys.stderr)
+        return 1
+    flightrec_bar = 50.0 if args.smoke else 3.0
+    if fr["overhead_pct"] >= flightrec_bar:
+        print(f"FAIL: steady-state flight recording costs "
+              f"{fr['overhead_pct']:.2f}% over the bare run "
+              f"(bar: <{flightrec_bar:.0f}%)", file=sys.stderr)
         return 1
     return 0
 
