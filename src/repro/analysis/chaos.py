@@ -14,6 +14,8 @@ locally with the same command line.  Expected outcomes:
   bit-identical;
 * a killed rank under plain supervision — *crashed*, but with a typed,
   step-attributed crash report (never a hang);
+* a paper-scale DES storm (512 ranks, compiled replay engine) run twice
+  from pristine plan replicas — bit-identical makespan and event counts;
 * a killed rank mid-SCF with checkpointing — recovered via
   checkpoint/restart, converging to the sequential energy;
 * (``--controller``) a killed rank mid-band-parallel-SCF under the
@@ -123,6 +125,43 @@ class _StencilScenario:
             identical=self.check(res.results),
             errors=errors,
         )
+
+
+def _des_replay_scale(seed: int) -> ChaosOutcome:
+    """Paper-scale DES storm: 512 ranks, compiled engine, replayed twice.
+
+    The compiled replay engine makes fault campaigns at paper scale
+    tractable inside the suite.  A seeded storm over 512 simulated ranks
+    runs twice from pristine :meth:`FaultPlan.replica` copies and must
+    agree bit-exactly on makespan, fault count, message count and
+    fired-event count — any heap-order drift in the engine shows up here
+    before it can corrupt a larger campaign.
+    """
+    from repro.core import FDJob, simulate_fd
+    from repro.core.approaches import FLAT_OPTIMIZED
+
+    job = FDJob(GridDescriptor((48, 48, 48)), 8)
+    plan = FaultPlan(
+        seed=seed, p_delay=0.1, p_drop=0.05, p_duplicate=0.05,
+        p_corrupt=0.05, delay=3e-4, retransmit_timeout=1e-4,
+    )
+    a, b = (
+        simulate_fd(job, FLAT_OPTIMIZED, 512, batch_size=4,
+                    fault_plan=plan.replica(), engine="compiled")
+        for _ in range(2)
+    )
+    identical = (
+        (a.total, a.fault_events, a.messages, a.events)
+        == (b.total, b.fault_events, b.messages, b.events)
+    )
+    return ChaosOutcome(
+        scenario="des-storm-512r",
+        injected=a.fault_events,
+        attempts=2,
+        outcome="clean",
+        identical=identical,
+        errors=(),
+    )
 
 
 def _scf_kill_resume(seed: int, timeout: float) -> ChaosOutcome:
@@ -328,6 +367,10 @@ def run_chaos_suite(
     # a killed rank: permanent — must crash with attribution, not hang
     kill = FaultPlan(seed=seed, kill_at={min(1, n_ranks - 1): 5})
     outcomes.append(sc.run("rank-kill", kill, max_retries=2, timeout=timeout))
+    # paper-scale determinism: the compiled DES replays a 512-rank storm
+    # twice from pristine plan replicas; any heap-order drift shows up
+    # as a makespan or event-count mismatch
+    outcomes.append(_des_replay_scale(seed))
     if scf:
         outcomes.append(_scf_kill_resume(seed, timeout))
     if controller:

@@ -11,6 +11,7 @@ Usage::
     python -m repro ablation
     python -m repro wholeapp
     python -m repro validate          # quick model-vs-DES cross-check
+    python -m repro simscale          # DES events/sec sweep vs rank count
     python -m repro schedule flat-optimized --cores 8 --grids 4 --batch-size 2
     python -m repro chaos --seed 0    # fault-injection survival matrix
     python -m repro mtbf              # Daly checkpoint-cadence sweep @16k cores
@@ -192,6 +193,53 @@ def _cmd_validate(args: argparse.Namespace) -> str:
         )
     lines.append(f"worst optimized-approach deviation: {worst:.1%}")
     return "\n".join(lines)
+
+
+def _cmd_simscale(args: argparse.Namespace) -> str:
+    """DES throughput sweep: events/sec and wall time vs rank count."""
+    import time
+
+    from repro.core.approaches import approach_by_name
+
+    approach = approach_by_name(args.approach)
+    job = FDJob(GridDescriptor(tuple(args.shape)), args.grids)
+    rows = []
+    exact = True
+    for n in args.ranks:
+        t0 = time.perf_counter()
+        res = simulate_fd(job, approach, n, batch_size=args.batch_size,
+                          engine="compiled")
+        wall = time.perf_counter() - t0
+        row = [n, res.events, f"{wall:.3f}", f"{res.events / wall:,.0f}"]
+        if n <= args.reference_max:
+            t0 = time.perf_counter()
+            ref = simulate_fd(job, approach, n, batch_size=args.batch_size,
+                              engine="reference")
+            ref_wall = time.perf_counter() - t0
+            exact = exact and (ref.total, ref.events) == (res.total, res.events)
+            row += [f"{ref_wall:.3f}", f"{ref_wall / wall:.2f}x"]
+        else:
+            row += ["-", "-"]
+        rows.append(row)
+    table = format_table(
+        ["ranks", "events", "compiled s", "events/s", "reference s", "speedup"],
+        rows,
+        title=(
+            f"DES replay scaling — {args.approach}, {args.grids} grids of "
+            f"{'x'.join(str(s) for s in args.shape)}, batch {args.batch_size}"
+        ),
+    )
+    note = (
+        "engines agree exactly (same totals and event counts)"
+        if exact else "ENGINE MISMATCH — compiled and reference disagree"
+    )
+    out = (
+        f"{table}\n{note}; reference engine run up to "
+        f"{args.reference_max} ranks"
+    )
+    if not exact:
+        raise SystemExit(out)
+    return out
 
 
 def _cmd_bandpar(args: argparse.Namespace) -> str:
@@ -578,7 +626,22 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("--top", type=int, default=10,
                     help="ranked rows to print (default 10)")
     pp.add_argument("--des-check", type=int, default=0, metavar="K",
-                    help="DES-replay the top K choices (small core counts)")
+                    help="DES-replay the top K choices with the compiled "
+                         "engine (tractable well past a thousand ranks)")
+    psc = sub.add_parser(
+        "simscale", help="DES throughput sweep: events/sec vs rank count"
+    )
+    add_spec_cli(psc, {
+        "approach": "flat-optimized", "grids": 16, "batch_size": 4,
+        "shape": (64, 64, 64), "ramp_up": False,
+    })
+    psc.add_argument("--ranks", type=int, nargs="+",
+                     default=[8, 64, 512, 4096],
+                     help="rank counts to sweep (default: 8 64 512 4096)")
+    psc.add_argument("--reference-max", type=int, default=512, metavar="N",
+                     help="also run the generator reference engine up to N "
+                          "ranks and report the compiled speedup "
+                          "(default 512)")
     ps = sub.add_parser(
         "schedule", help="print the compiled schedule IR for an approach"
     )
@@ -682,6 +745,7 @@ _COMMANDS = {
     "ablation": _cmd_ablation,
     "wholeapp": _cmd_wholeapp,
     "validate": _cmd_validate,
+    "simscale": _cmd_simscale,
     "bandpar": _cmd_bandpar,
     "plan": _cmd_plan,
     "report": _cmd_report,

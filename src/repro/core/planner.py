@@ -24,8 +24,11 @@ repo already pins.
 
 :meth:`Planner.cross_check` replays a choice's plans through the DES
 (:func:`~repro.core.simrun.simulate_fd` + :func:`~repro.core.simrun
-.simulate_band_plan`) — feasible at small core counts, where tests hold
-it to the repo's existing <= 5% model-vs-DES tolerance.
+.simulate_band_plan`); tests hold it to the repo's existing <= 5%
+model-vs-DES tolerance.  Since the compiled replay engine
+(:mod:`repro.core.simrun_compiled`) the cross-check is no longer limited
+to small core counts — ``des_top_k`` is affordable at paper-scale group
+sizes.
 """
 
 from __future__ import annotations
@@ -126,9 +129,12 @@ class Planner:
     ) -> tuple[list[Candidate], list[Rejection]]:
         """All feasible candidates plus the rejections, in stable order.
 
-        Band groups are powers of two up to ``max_groups`` and only apply
-        to hybrid-multiple (the layout the band-parallel extension
-        assumes); batch sizes come from
+        Band groups run over *every* integer ``2..max_groups`` (not just
+        powers of two) and only apply to hybrid-multiple (the layout the
+        band-parallel extension assumes); counts that don't divide the
+        bands or the node grid come back as typed :class:`Rejection`\\ s
+        rather than being silently skipped, so a sweep can report *why*
+        e.g. ``nb=3`` lost to ``nb=4``.  Batch sizes come from
         :meth:`~repro.core.perfmodel.PerformanceModel.batch_candidates`,
         the same space ``best_batch_size`` searches.
         """
@@ -145,10 +151,7 @@ class Planner:
                 continue
             nb_values = [1]
             if name == "hybrid-multiple":
-                nb = 2
-                while nb <= max_groups:
-                    nb_values.append(nb)
-                    nb *= 2
+                nb_values.extend(range(2, max_groups + 1))
             for nb in nb_values:
                 if nb > 1:
                     if problem.n_grids % nb:
@@ -244,8 +247,10 @@ class Planner:
         A candidate whose plan compilation fails (e.g. a decomposition
         finer than the grid) turns into a rejection rather than an error.
         ``des_top_k > 0`` additionally replays the top-k choices through
-        the DES and records their ``des_time`` — intended for small core
-        counts, where the replay is tractable.
+        the DES and records their ``des_time``.  The replay runs on the
+        compiled engine (:mod:`repro.core.simrun_compiled`), which keeps
+        exact cross-checks tractable well past a thousand ranks — seconds
+        per choice at paper-scale group sizes, not hours.
         """
         candidates, rejected = self.enumerate(
             problem, n_cores, max_groups=max_groups, approaches=approaches
@@ -372,7 +377,8 @@ class Planner:
         Replays the *same* compiled plans the analytic pricing walked:
         one group's FD invocation through :func:`simulate_fd` and the
         ring plan through :func:`simulate_band_plan`, combined with the
-        same step formula.  Event-heavy — use at small core counts.
+        same step formula.  The FD leg uses the compiled table-driven
+        engine, so thousand-rank groups cross-check in seconds.
         """
         from repro.core.simrun import simulate_band_plan, simulate_fd
 

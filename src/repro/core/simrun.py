@@ -91,6 +91,13 @@ class SimResult:
     step_trace: Optional[SpanTracer] = None
     #: faults the fault plan injected during the replay (0 without one)
     fault_events: int = 0
+    #: which engine produced this result: "reference" (generator processes)
+    #: or "compiled" (table-driven state machines, simrun_compiled)
+    engine: str = ""
+    #: schedule-IR steps replayed across all ranks (plan size metric)
+    ir_steps: int = 0
+    #: heap entries the DES fired during the replay (throughput metric)
+    events: int = 0
 
 
 def _node_mode_for(approach: Approach, n_cores: int) -> tuple[NodeMode, int]:
@@ -373,9 +380,11 @@ class _FDSimulation:
 
     # -- orchestration --------------------------------------------------------
     def run(self) -> SimResult:
+        ir_steps = 0
         for domain in range(self.decomp.n_domains):
             rank = self.rank_of_domain[domain]
             rp = self.plan.rank_plan(domain)
+            ir_steps += sum(len(wp.steps) for wp in rp.workers)
             if self.plan.workers_are_ranks:
                 # flat sub-groups (section VII-A): the node's virtual-mode
                 # ranks each replay their own worker, offset by slot.
@@ -407,6 +416,9 @@ class _FDSimulation:
             fault_events=(
                 len(self.fault_plan.events) if self.fault_plan is not None else 0
             ),
+            engine="reference",
+            ir_steps=ir_steps,
+            events=self.machine.sim.events_processed,
         )
 
 
@@ -421,12 +433,17 @@ def simulate_fd(
     trace: bool = False,
     fault_plan: Optional[FaultPlan] = None,
     step_tracer: Optional[SpanTracer] = None,
+    engine: str = "compiled",
 ) -> SimResult:
     """Simulate one FD invocation at message level on the DES machine.
 
-    Exact but event-heavy: intended for <= a few hundred cores and a few
-    hundred grids.  For paper-scale configurations use
-    :class:`~repro.core.perfmodel.PerformanceModel`.
+    Message-level exact.  The default ``engine="compiled"``
+    (:mod:`repro.core.simrun_compiled`) deduplicates per-rank plans and
+    replays micro-op tables on the DES callback fast path, which keeps
+    exact replay feasible at paper-scale rank counts;
+    ``engine="reference"`` runs the original generator-process
+    interpreter, kept as the canonical semantics the compiled engine is
+    diffed against bit-for-bit (``tests/test_engine_equivalence.py``).
 
     ``fault_plan`` replays the same :class:`~repro.transport.faults.FaultPlan`
     the functional plane injects, as *timing* perturbations: delays,
@@ -439,7 +456,18 @@ def simulate_fd(
     as a unified span at simulated time; the result's ``step_trace``
     carries it for export/diffing against the other planes.
     """
-    return _FDSimulation(
+    if engine == "compiled":
+        # deferred import: simrun_compiled imports from this module
+        from repro.core.simrun_compiled import _CompiledFDSimulation
+
+        cls = _CompiledFDSimulation
+    elif engine == "reference":
+        cls = _FDSimulation
+    else:
+        raise ValueError(
+            f"engine must be 'compiled' or 'reference', got {engine!r}"
+        )
+    return cls(
         job, approach, n_cores, batch_size, ramp_up, spec, placement, trace,
         fault_plan, step_tracer,
     ).run()
@@ -452,6 +480,7 @@ def simulate_spec(
     trace: bool = False,
     fault_plan: Optional[FaultPlan] = None,
     step_tracer: Optional[SpanTracer] = None,
+    engine: str = "compiled",
 ) -> SimResult:
     """Replay one FD invocation of a :class:`~repro.core.jobspec.JobSpec`.
 
@@ -480,6 +509,7 @@ def simulate_spec(
         trace=trace,
         fault_plan=fault_plan,
         step_tracer=step_tracer,
+        engine=engine,
     )
 
 

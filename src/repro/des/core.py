@@ -3,14 +3,34 @@
 Execution model
 ---------------
 
-The simulator keeps a heap of ``(time, sequence, callback)`` entries.  The
+The simulator keeps a heap of ``(time, sequence, fn, args)`` entries.  The
 ``sequence`` counter makes the ordering of simultaneous events deterministic
 (FIFO in scheduling order) — essential for reproducible message traces.
+Because the sequence is unique, the heap never compares ``fn``/``args``,
+so entries are plain tuples: no closure allocation per scheduled call.
 
-A :class:`Process` wraps a generator.  Each ``yield`` must produce an
-:class:`Event`; the process is resumed with the event's value when it fires.
-If the yielded event failed, the exception is thrown into the generator so
-processes can use ordinary ``try/except``.
+Two layers share that heap:
+
+* the **callback fast path** — :meth:`Simulator.call_at` /
+  :meth:`Simulator.call_soon` schedule a bare ``fn(*args)`` with no event
+  object at all.  The compiled replay engine
+  (:mod:`repro.core.simrun_compiled`) runs entirely on this layer.
+* the **event layer** — :class:`Event`, :class:`Timeout`, :class:`Process`
+  build condition variables and coroutine processes on top of the same
+  primitives.  A :class:`Process` wraps a generator; each ``yield`` must
+  produce an :class:`Event`, and the process is resumed with the event's
+  value when it fires.  If the yielded event failed, the exception is
+  thrown into the generator so processes can use ordinary ``try/except``.
+
+Both layers interleave on one ``(time, sequence)`` total order, so a
+callback-layer reimplementation of an event-layer program can reproduce
+its schedule bit-for-bit by issuing the same number of hops.
+
+The run loop pops *batches* of simultaneous entries: the clock is written
+once per distinct timestamp instead of once per event.  Within a batch,
+entries still fire strictly in sequence order, and entries scheduled for
+the current time by a firing callback join the same batch (exactly the
+one-at-a-time behaviour, minus the redundant clock stores and peeks).
 """
 
 from __future__ import annotations
@@ -93,12 +113,12 @@ class Event:
         callbacks, self.callbacks = self.callbacks, None
         assert callbacks is not None
         for cb in callbacks:
-            self.sim._schedule_call(cb, self)
+            self.sim.call_soon(cb, self)
 
     def add_callback(self, cb: Callable[["Event"], None]) -> None:
         """Run ``cb(event)`` when the event fires (immediately if already fired)."""
         if self.callbacks is None:
-            self.sim._schedule_call(cb, self)
+            self.sim.call_soon(cb, self)
         else:
             self.callbacks.append(cb)
 
@@ -116,8 +136,8 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"timeout delay must be >= 0, got {delay}")
-        super().__init__(sim, name=f"timeout({delay})")
-        sim._schedule_at(sim.now + delay, self._fire, value)
+        super().__init__(sim, name="timeout")
+        sim.call_at(sim.now + delay, self._fire, value)
 
     def _fire(self, value: Any) -> None:
         self.succeed(value)
@@ -192,14 +212,14 @@ class Process(Event):
         self._gen = gen
         self._waiting_on: Optional[Event] = None
         # Start the process at the current simulation time.
-        sim._schedule_call(self._resume, None)
+        sim.call_soon(self._resume, None)
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
         if self.triggered:
             raise SimulationError("cannot interrupt a finished process")
         self._waiting_on = None  # the interrupted wait is abandoned
-        self.sim._schedule_call(self._throw, Interrupt(cause))
+        self.sim.call_soon(self._throw, Interrupt(cause))
 
     # -- driving ---------------------------------------------------------
     def _resume(self, ev: Optional[Event]) -> None:
@@ -251,8 +271,12 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
         self._seq = 0
+        #: heap entries fired so far — one per scheduled callback, whether
+        #: it came from the event layer or the fast path; engine
+        #: equivalence tests assert this matches between engines
+        self.events_processed = 0
 
     @property
     def now(self) -> float:
@@ -260,15 +284,26 @@ class Simulator:
         return self._now
 
     # -- scheduling primitives -------------------------------------------
-    def _schedule_at(self, t: float, fn: Callable[..., None], *args: Any) -> None:
+    def call_at(self, t: float, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at absolute time ``t`` (fast path).
+
+        One heap tuple, no event object; entries at equal times fire in
+        scheduling order.
+        """
         if t < self._now:
             raise SimulationError(f"cannot schedule into the past ({t} < {self._now})")
         self._seq += 1
-        heapq.heappush(self._heap, (t, self._seq, lambda: fn(*args)))
+        heapq.heappush(self._heap, (t, self._seq, fn, args))
 
-    def _schedule_call(self, fn: Callable[..., None], *args: Any) -> None:
+    def call_soon(self, fn: Callable[..., None], *args: Any) -> None:
         """Schedule ``fn(*args)`` at the current time (after pending callbacks)."""
-        self._schedule_at(self._now, fn, *args)
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now, self._seq, fn, args))
+
+    # kept as aliases: external components (resources, tests) predate the
+    # public fast-path names
+    _schedule_at = call_at
+    _schedule_call = call_soon
 
     # -- public API --------------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -296,17 +331,29 @@ class Simulator:
 
         With ``until``, stops once the next event would be strictly later
         than ``until`` and fast-forwards the clock to exactly ``until``.
+
+        Simultaneous entries fire as one batch: the clock is stored once
+        per distinct timestamp, and entries a callback schedules for the
+        current time join the running batch (identical order to popping
+        one entry at a time).
         """
-        while self._heap:
-            t, _, call = self._heap[0]
+        heap = self._heap
+        pop = heapq.heappop
+        fired = 0
+        while heap:
+            t = heap[0][0]
             if until is not None and t > until:
                 self._now = until
+                self.events_processed += fired
                 return self._now
-            heapq.heappop(self._heap)
             self._now = t
-            call()
+            while heap and heap[0][0] == t:
+                entry = pop(heap)
+                fired += 1
+                entry[2](*entry[3])
         if until is not None and until > self._now:
             self._now = until
+        self.events_processed += fired
         return self._now
 
     def run_process(self, gen: Generator[Event, Any, Any], name: str = "") -> Any:

@@ -6,11 +6,17 @@ uses it to record per-core compute spans and per-link transfers.  Spans
 can be queried, aggregated into per-resource busy time, or rendered as an
 ASCII Gantt chart — the debugging view that makes schedule bugs (a hole in
 the pipeline, a serialized exchange) visible at a glance.
+
+Recording is array-backed: :meth:`Tracer.record` appends one plain tuple
+(no per-record object, no O(n) insort), and the :class:`Span` objects are
+materialized lazily on first query — a stable sort by ``(start, end)``
+reproduces exactly the order the old incremental ``insort`` maintained
+(ties stay in arrival order).  At 4096+ simulated ranks this keeps trace
+capture out of the replay hot path entirely.
 """
 
 from __future__ import annotations
 
-from bisect import insort
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
@@ -24,12 +30,12 @@ class Span:
        compare (and sort) by ``(start, end)`` *only* — two spans on
        different resources with the same interval are ``==`` for
        ordering purposes, so ``sorted(spans)`` leaves their relative
-       order to insertion order, and ``insort`` (used by
-       :meth:`Tracer.record`) keeps ties in arrival order.  That is fine
-       for the per-resource queries here, but any exporter needing a
-       *deterministic total order* must add explicit tie-breakers — see
-       ``repro.obs.export`` (sorts by ``(start, end, resource, label)``)
-       and ``repro.obs.spans.StepSpan`` (which drops ``order=True``
+       order to insertion order, and the tracer's lazy stable sort
+       keeps ties in arrival order.  That is fine for the per-resource
+       queries here, but any exporter needing a *deterministic total
+       order* must add explicit tie-breakers — see ``repro.obs.export``
+       (sorts by ``(start, end, resource, label)``) and
+       ``repro.obs.spans.StepSpan`` (which drops ``order=True``
        entirely in favor of an explicit ``sort_key``).
     """
 
@@ -47,28 +53,60 @@ class Span:
         return self.end - self.start
 
 
+def _sort_key(record: tuple) -> tuple[float, float]:
+    return (record[0], record[1])
+
+
 class Tracer:
     """Collects spans; cheap enough to leave on in tests."""
 
     def __init__(self) -> None:
-        self._spans: list[Span] = []
+        # raw (start, end, resource, label) rows, in arrival order
+        self._records: list[tuple[float, float, str, str]] = []
+        self._spans: Optional[list[Span]] = None  # lazy, (start, end)-sorted
 
     def record(self, resource: str, start: float, end: float, label: str = "") -> None:
         """Add one finished activity span."""
-        insort(self._spans, Span(start=start, end=end, resource=resource, label=label))
+        if end < start:
+            raise ValueError(f"span ends before it starts: {start}..{end}")
+        self._records.append((start, end, resource, label))
+        self._spans = None
+
+    def extend(self, records: Iterable[tuple[float, float, str, str]]) -> None:
+        """Bulk-append ``(start, end, resource, label)`` rows.
+
+        The engine-side buffers flush through here once per run; arrival
+        order of the iterable becomes the tie order among equal
+        ``(start, end)`` intervals.
+        """
+        recs = self._records
+        for r in records:
+            if r[1] < r[0]:
+                raise ValueError(f"span ends before it starts: {r[0]}..{r[1]}")
+            recs.append(r)
+        self._spans = None
+
+    def _materialize(self) -> list[Span]:
+        if self._spans is None:
+            self._spans = [
+                Span(start=r[0], end=r[1], resource=r[2], label=r[3])
+                for r in sorted(self._records, key=_sort_key)
+            ]
+        return self._spans
 
     def __len__(self) -> int:
-        return len(self._spans)
+        return len(self._records)
 
     def spans(self, resource: Optional[str] = None) -> list[Span]:
-        """All spans, optionally filtered by resource name."""
+        """All spans sorted by ``(start, end)``, optionally filtered."""
+        spans = self._materialize()
         if resource is None:
-            return list(self._spans)
-        return [s for s in self._spans if s.resource == resource]
+            return list(spans)
+        return [s for s in spans if s.resource == resource]
 
     def resources(self) -> list[str]:
         """Sorted list of resources that appear in the trace."""
-        return sorted({s.resource for s in self._spans})
+        return sorted({r[2] for r in self._records})
 
     def busy_time(self, resource: str) -> float:
         """Total non-overlapping busy time of one resource."""
@@ -85,7 +123,7 @@ class Tracer:
 
     def makespan(self) -> float:
         """End of the last span (0 for an empty trace)."""
-        return max((s.end for s in self._spans), default=0.0)
+        return max((r[1] for r in self._records), default=0.0)
 
     def utilization(self, resource: str) -> float:
         """Busy fraction of one resource over the makespan."""
@@ -108,4 +146,4 @@ class Tracer:
         """
         from repro.obs.export import ascii_gantt
 
-        return ascii_gantt(self._spans, width=width, resources=resources, fill=fill)
+        return ascii_gantt(self._materialize(), width=width, resources=resources, fill=fill)

@@ -40,7 +40,7 @@ group holds the identical density, so one group speaks for all).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -710,22 +710,14 @@ class DistributedSCF:
         the new layout; shares the checkpoint store, so a recovery can
         shrink onto surviving ranks and keep checkpointing.
         """
-        return DistributedSCF(
-            self.grid,
+        spec = replace(
+            self.spec, layout=replace(self.spec.layout, n_cores=n_ranks)
+        )
+        return DistributedSCF.from_spec(
+            spec,
             self.v_ext,
-            self.n_bands,
-            n_ranks,
-            n_band_groups=self.layout.n_groups,
             occupations=list(self.occ),
-            mixing=self.mixing,
-            tolerance=self.tolerance,
-            max_iterations=self.max_iterations,
-            band_iterations=self.band_iterations,
-            approach=self.approach,
-            xc=self.xc,
-            seed=self.seed,
             checkpoint_store=self.checkpoint_store,
-            checkpoint_every=self.checkpoint_every,
             metrics=self.metrics if self.metrics.enabled else None,
             cadence=self.cadence,
         )

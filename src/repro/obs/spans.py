@@ -186,6 +186,21 @@ class SpanTracer:
         with self._lock:
             self._entries.append((resource, step, worker, start, end))
 
+    def extend_steps(self, records: Iterable[tuple]) -> None:
+        """Bulk-append ``(resource, step, worker, start, end)`` rows.
+
+        One lock acquisition for a whole engine-side buffer; the iterable's
+        order becomes the insertion order (the per-resource invariant
+        :meth:`step_sequence` relies on).  Rows are validated like
+        :meth:`record_step`.
+        """
+        rows = list(records)
+        for r in rows:
+            if r[4] < r[3]:
+                raise ValueError(f"span ends before it starts: {r[3]}..{r[4]}")
+        with self._lock:
+            self._entries.extend(rows)
+
     def record(
         self, resource: str, start: float, end: float, label: str = ""
     ) -> None:

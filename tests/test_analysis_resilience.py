@@ -52,14 +52,23 @@ class TestDalyModel:
 
     def test_checkpoint_bytes_matches_functional_snapshot(self):
         """The analytic size and an actual SCFCheckpoint must agree."""
+        from repro.core.jobspec import (
+            JobSpec, LayoutSpec, ProblemSpec, RuntimeSpec,
+        )
         from repro.dft import DistributedSCF, MemoryCheckpointStore
 
         n = 6
         gd = GridDescriptor((n, n, n), pbc=(False,) * 3, spacing=0.6)
         store = MemoryCheckpointStore()
-        DistributedSCF(
-            gd, np.zeros(gd.shape), n_bands=2, n_ranks=2, tolerance=0.0,
-            max_iterations=1, band_iterations=2, checkpoint_store=store,
+        spec = JobSpec(
+            problem=ProblemSpec.from_grid(gd, 2),
+            layout=LayoutSpec(n_cores=2),
+            runtime=RuntimeSpec(
+                tolerance=0.0, max_iterations=1, band_iterations=2,
+            ),
+        )
+        DistributedSCF.from_spec(
+            spec, np.zeros(gd.shape), checkpoint_store=store
         ).run()
         ckpt = store.latest()
         assert ckpt.nbytes() == checkpoint_bytes(FDJob(gd, 2))

@@ -165,6 +165,33 @@ class TestRejections:
         assert 2 in by_nb and "divisible" in by_nb[2]  # 12 % (4*2) != 0
         assert 4 in by_nb and "divisible" in by_nb[4]  # 6 grids % 4 != 0
 
+    def test_non_power_of_two_band_groups_enumerated(self):
+        """nb=3 is a first-class candidate when the divisions work out."""
+        problem = ProblemSpec(shape=(24, 24, 24), n_grids=12)
+        result = Planner().rank(problem, 48, max_groups=6)
+        nb_seen = {
+            ch.spec.layout.n_band_groups
+            for ch in result.choices
+            if ch.spec.layout.approach == "hybrid-multiple"
+        }
+        # 12 grids and 48 cores: nb=3 divides both (48 % (4*3) == 0), and
+        # nb=6 divides the grids but not the node grid (48 % 24 == 0) — so
+        # 6 is feasible too; 5 must come back as a typed rejection
+        assert 3 in nb_seen
+        by_nb = {r.n_band_groups: r.reason for r in result.rejected
+                 if r.approach == "hybrid-multiple"}
+        assert 5 in by_nb and "divisible" in by_nb[5]
+
+    def test_non_power_of_two_infeasible_is_typed_rejection(self):
+        """Every enumerated nb is either priced or rejected, never dropped."""
+        problem = ProblemSpec(shape=(24, 24, 24), n_grids=8)
+        result = Planner().rank(problem, 32, max_groups=5)
+        hm = [ch.spec.layout.n_band_groups for ch in result.choices
+              if ch.spec.layout.approach == "hybrid-multiple"]
+        rej = [r.n_band_groups for r in result.rejected
+               if r.approach == "hybrid-multiple"]
+        assert set(hm) | set(rej) >= {2, 3, 4, 5}
+
     def test_memory_rejection_reported(self):
         # 2816 grids of 192^3 cannot fit on a handful of VN-mode ranks
         problem = ProblemSpec(shape=(192, 192, 192), n_grids=2816)

@@ -11,6 +11,7 @@ telemetry spans tag resources by band group.
 import numpy as np
 import pytest
 
+from repro.core.jobspec import JobSpec, LayoutSpec, ProblemSpec, RuntimeSpec
 from repro.dft import MemoryCheckpointStore, overlap_matrix
 from repro.dft.band_ortho import band_axis_sum
 from repro.dft.distributed_scf import DistributedSCF
@@ -26,33 +27,38 @@ def aniso_trap(n=8, spacing=0.6):
     return gd, v
 
 
-def band_scf(n_ranks, n_band_groups, n_bands=4, store=None, **overrides):
-    gd, v = aniso_trap()
-    kwargs = dict(
-        n_bands=n_bands,
-        n_ranks=n_ranks,
-        n_band_groups=n_band_groups,
-        occupations=[2.0] * n_bands,
-        mixing=0.6,
-        tolerance=0.0,
-        max_iterations=3,
-        band_iterations=4,
-        checkpoint_store=store,
+def band_spec(gd, n_bands, n_ranks, n_band_groups, max_iterations=3):
+    return JobSpec(
+        problem=ProblemSpec.from_grid(gd, n_bands),
+        layout=LayoutSpec(n_cores=n_ranks, n_band_groups=n_band_groups),
+        runtime=RuntimeSpec(
+            mixing=0.6, tolerance=0.0, max_iterations=max_iterations,
+            band_iterations=4,
+        ),
     )
-    kwargs.update(overrides)
-    return DistributedSCF(gd, v, **kwargs)
+
+
+def band_scf(n_ranks, n_band_groups, n_bands=4, store=None, max_iterations=3):
+    gd, v = aniso_trap()
+    return DistributedSCF.from_spec(
+        band_spec(gd, n_bands, n_ranks, n_band_groups, max_iterations),
+        v, occupations=[2.0] * n_bands, checkpoint_store=store,
+    )
 
 
 class TestValidation:
+    """The divisibility contract now lives in JobSpec — an invalid band
+    layout cannot even be represented, let alone reach the SCF."""
+
     def test_bands_must_divide_by_groups(self):
-        gd, v = aniso_trap()
+        gd, _ = aniso_trap()
         with pytest.raises(ValueError, match="band groups"):
-            DistributedSCF(gd, v, n_bands=3, n_ranks=4, n_band_groups=2)
+            band_spec(gd, n_bands=3, n_ranks=4, n_band_groups=2)
 
     def test_ranks_must_divide_by_groups(self):
-        gd, v = aniso_trap()
+        gd, _ = aniso_trap()
         with pytest.raises(ValueError, match="divisible"):
-            DistributedSCF(gd, v, n_bands=4, n_ranks=3, n_band_groups=2)
+            band_spec(gd, n_bands=4, n_ranks=3, n_band_groups=2)
 
 
 @pytest.fixture(scope="module")

@@ -13,6 +13,7 @@ The crash-consistency rules under test (docs/ROBUSTNESS.md):
 import numpy as np
 import pytest
 
+from repro.core.jobspec import JobSpec, LayoutSpec, ProblemSpec, RuntimeSpec
 from repro.dft import (
     DistributedSCF,
     FileCheckpointStore,
@@ -162,10 +163,16 @@ def aniso_scf(
     x, y, z = gd.coordinates()
     c = (n + 1) * h / 2
     v = 0.5 * ((x - c) ** 2 + 1.44 * (y - c) ** 2 + 1.96 * (z - c) ** 2)
-    return DistributedSCF(
-        gd, v, n_bands=1, n_ranks=n_ranks, occupations=[2.0], mixing=0.6,
-        tolerance=tolerance, max_iterations=max_iterations,
-        band_iterations=band_iterations, checkpoint_store=store, seed=seed,
+    spec = JobSpec(
+        problem=ProblemSpec.from_grid(gd, 1),
+        layout=LayoutSpec(n_cores=n_ranks),
+        runtime=RuntimeSpec(
+            mixing=0.6, tolerance=tolerance, max_iterations=max_iterations,
+            band_iterations=band_iterations, seed=seed,
+        ),
+    )
+    return DistributedSCF.from_spec(
+        spec, v, occupations=[2.0], checkpoint_store=store
     )
 
 
@@ -227,8 +234,12 @@ class TestKillResume:
         store = MemoryCheckpointStore()
         aniso_scf(2, store, max_iterations=1).run()
         ckpt = store.latest()
-        other = DistributedSCF(
-            GridDescriptor((8, 8, 8)), np.zeros((8, 8, 8)), n_bands=1, n_ranks=2,
+        other = DistributedSCF.from_spec(
+            JobSpec(
+                problem=ProblemSpec.from_grid(GridDescriptor((8, 8, 8)), 1),
+                layout=LayoutSpec(n_cores=2),
+            ),
+            np.zeros((8, 8, 8)),
         )
         with pytest.raises(ValueError, match="does not match"):
             other.run(resume_from=ckpt)
@@ -261,9 +272,12 @@ class TestEmbeddedJobSpec:
 
         aniso_scf(2, store, max_iterations=1).run()
         ckpt = store.latest()
-        other = DistributedSCF(
-            GridDescriptor((8, 8, 8)), np.zeros((8, 8, 8)),
-            n_bands=1, n_ranks=2,
+        other = DistributedSCF.from_spec(
+            JobSpec(
+                problem=ProblemSpec.from_grid(GridDescriptor((8, 8, 8)), 1),
+                layout=LayoutSpec(n_cores=2),
+            ),
+            np.zeros((8, 8, 8)),
         )
         with pytest.raises(SpecMismatchError) as exc:
             other.run(resume_from=ckpt)

@@ -9,6 +9,7 @@ import numpy as np
 import pytest
 
 from repro.core.approaches import HYBRID_MULTIPLE
+from repro.core.jobspec import JobSpec, LayoutSpec, ProblemSpec, RuntimeSpec
 from repro.dft import SCFLoop
 from repro.dft.distributed_scf import DistributedSCF
 from repro.grid import GridDescriptor
@@ -24,17 +25,28 @@ def aniso_trap(n=10, spacing=0.55):
     return gd, v
 
 
+def spec(gd, n_bands, n_ranks, *, approach="flat-optimized", **runtime):
+    """A JobSpec for the trap problems — the typed front door."""
+    if not isinstance(approach, str):
+        approach = approach.name
+    return JobSpec(
+        problem=ProblemSpec.from_grid(gd, n_bands),
+        layout=LayoutSpec(approach=approach, n_cores=n_ranks),
+        runtime=RuntimeSpec(**runtime),
+    )
+
+
 class TestValidation:
     def test_bad_args(self):
         gd, v = aniso_trap(8)
         with pytest.raises(ValueError):
-            DistributedSCF(gd, v, n_bands=0, n_ranks=2)
+            DistributedSCF.from_spec(spec(gd, 0, 2), v)
         with pytest.raises(ValueError):
-            DistributedSCF(gd, v, n_bands=1, n_ranks=2, xc="pbe")
+            DistributedSCF.from_spec(spec(gd, 1, 2, xc="pbe"), v)
         with pytest.raises(ValueError):
-            DistributedSCF(gd, v, n_bands=2, n_ranks=2, occupations=[2.0])
+            DistributedSCF.from_spec(spec(gd, 2, 2), v, occupations=[2.0])
         with pytest.raises(ValueError):
-            DistributedSCF(gd, np.zeros((4, 4, 4)), n_bands=1, n_ranks=2)
+            DistributedSCF.from_spec(spec(gd, 1, 2), np.zeros((4, 4, 4)))
 
 
 class TestAgainstSequential:
@@ -44,9 +56,10 @@ class TestAgainstSequential:
             gd, v, n_bands=1, occupations=[2.0], mixing=0.6,
             tolerance=1e-3, max_iterations=30, eig_tol=1e-8,
         ).run()
-        dist = DistributedSCF(
-            gd, v, n_bands=1, n_ranks=2, occupations=[2.0], mixing=0.6,
-            tolerance=1e-3, max_iterations=30, band_iterations=10,
+        dist = DistributedSCF.from_spec(
+            spec(gd, 1, 2, mixing=0.6, tolerance=1e-3, max_iterations=30,
+                 band_iterations=10),
+            v, occupations=[2.0],
         ).run()
         assert seq.converged and dist.converged
         assert dist.energies[0] == pytest.approx(seq.energies[0], abs=2e-3)
@@ -58,18 +71,20 @@ class TestAgainstSequential:
             gd, v, n_bands=2, occupations=[2.0, 2.0], mixing=0.6,
             tolerance=1e-4, max_iterations=30, eig_tol=1e-8,
         ).run()
-        dist = DistributedSCF(
-            gd, v, n_bands=2, n_ranks=4, occupations=[2.0, 2.0], mixing=0.6,
-            tolerance=0.0, max_iterations=10, band_iterations=12,
+        dist = DistributedSCF.from_spec(
+            spec(gd, 2, 4, mixing=0.6, tolerance=0.0, max_iterations=10,
+                 band_iterations=12),
+            v, occupations=[2.0, 2.0],
         ).run()
         np.testing.assert_allclose(dist.energies, seq.energies, atol=5e-3)
         assert dist.total_energy == pytest.approx(seq.total_energy, abs=2e-2)
 
     def test_density_properties(self):
         gd, v = aniso_trap(8, 0.6)
-        dist = DistributedSCF(
-            gd, v, n_bands=1, n_ranks=4, occupations=[2.0],
-            tolerance=0.0, max_iterations=5, band_iterations=8,
+        dist = DistributedSCF.from_spec(
+            spec(gd, 1, 4, tolerance=0.0, max_iterations=5,
+                 band_iterations=8),
+            v, occupations=[2.0],
         ).run()
         h3 = gd.spacing ** 3
         assert dist.density.min() >= -1e-12
@@ -77,9 +92,10 @@ class TestAgainstSequential:
 
     def test_gathered_states_orthonormal(self):
         gd, v = aniso_trap(8, 0.6)
-        dist = DistributedSCF(
-            gd, v, n_bands=2, n_ranks=2, occupations=[2.0, 2.0],
-            tolerance=0.0, max_iterations=4, band_iterations=6,
+        dist = DistributedSCF.from_spec(
+            spec(gd, 2, 2, tolerance=0.0, max_iterations=4,
+                 band_iterations=6),
+            v, occupations=[2.0, 2.0],
         ).run()
         from repro.dft import overlap_matrix
 
@@ -91,9 +107,10 @@ class TestAgainstSequential:
         gd, v = aniso_trap(8, 0.6)
 
         def run(n_ranks):
-            return DistributedSCF(
-                gd, v, n_bands=1, n_ranks=n_ranks, occupations=[2.0],
-                tolerance=0.0, max_iterations=5, band_iterations=8, seed=3,
+            return DistributedSCF.from_spec(
+                spec(gd, 1, n_ranks, tolerance=0.0, max_iterations=5,
+                     band_iterations=8, seed=3),
+                v, occupations=[2.0],
             ).run()
 
         a, b = run(2), run(4)
@@ -105,10 +122,10 @@ class TestAgainstSequential:
         gd, v = aniso_trap(8, 0.6)
 
         def run(approach):
-            return DistributedSCF(
-                gd, v, n_bands=1, n_ranks=4, occupations=[2.0],
-                tolerance=0.0, max_iterations=3, band_iterations=5,
-                approach=approach, seed=1,
+            return DistributedSCF.from_spec(
+                spec(gd, 1, 4, approach=approach, tolerance=0.0,
+                     max_iterations=3, band_iterations=5, seed=1),
+                v, occupations=[2.0],
             ).run()
 
         from repro.core import FLAT_OPTIMIZED
@@ -118,9 +135,10 @@ class TestAgainstSequential:
 
     def test_lda_runs_distributed(self):
         gd, v = aniso_trap(8, 0.6)
-        dist = DistributedSCF(
-            gd, v, n_bands=1, n_ranks=2, occupations=[2.0],
-            tolerance=0.0, max_iterations=8, band_iterations=8, xc="lda",
+        dist = DistributedSCF.from_spec(
+            spec(gd, 1, 2, tolerance=0.0, max_iterations=8,
+                 band_iterations=8, xc="lda"),
+            v, occupations=[2.0],
         ).run()
         seq = SCFLoop(
             gd, v, n_bands=1, occupations=[2.0], mixing=0.5,

@@ -18,6 +18,7 @@ import numpy as np
 import pytest
 
 from repro.core import AdaptiveCadence, DegradationError, DegradationPolicy
+from repro.core.jobspec import JobSpec, LayoutSpec, ProblemSpec, RuntimeSpec
 from repro.dft import DistributedSCF, MemoryCheckpointStore, RecoveryController
 from repro.grid import GridDescriptor
 from repro.transport import FaultPlan, FaultyTransport, InprocTransport
@@ -31,23 +32,20 @@ def aniso_trap(n=6, spacing=0.6):
     return gd, v
 
 
-def band_scf(n_ranks, n_band_groups, store=None, metrics=None, **overrides):
+def band_scf(n_ranks, n_band_groups, store=None, metrics=None):
     gd, v = aniso_trap()
-    kwargs = dict(
-        n_bands=4,
-        n_ranks=n_ranks,
-        n_band_groups=n_band_groups,
-        occupations=[2.0] * 4,
-        mixing=0.6,
-        tolerance=0.0,
-        max_iterations=4,
-        band_iterations=4,
-        checkpoint_store=store,
-        checkpoint_every=1,
-        seed=0,
+    spec = JobSpec(
+        problem=ProblemSpec.from_grid(gd, 4),
+        layout=LayoutSpec(n_cores=n_ranks, n_band_groups=n_band_groups),
+        runtime=RuntimeSpec(
+            mixing=0.6, tolerance=0.0, max_iterations=4,
+            band_iterations=4, checkpoint_every=1, seed=0,
+        ),
     )
-    kwargs.update(overrides)
-    return DistributedSCF(gd, v, metrics=metrics, **kwargs)
+    return DistributedSCF.from_spec(
+        spec, v, occupations=[2.0] * 4,
+        checkpoint_store=store, metrics=metrics,
+    )
 
 
 def kill_then_clean(plan):
